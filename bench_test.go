@@ -1,0 +1,432 @@
+package extrareq
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index) and measures the
+// ablations called out in DESIGN.md §5. Quality numbers are attached to the
+// benchmark output via b.ReportMetric, so `go test -bench` doubles as the
+// reproduction harness:
+//
+//	go test -bench 'Table|Fig' -benchmem .
+//	go test -bench Ablation .
+//
+// Shapes to compare against the paper are recorded in EXPERIMENTS.md.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"extrareq/internal/apps"
+	"extrareq/internal/codesign"
+	"extrareq/internal/locality"
+	"extrareq/internal/metrics"
+	"extrareq/internal/modeling"
+	"extrareq/internal/pmnf"
+	"extrareq/internal/simmpi"
+	"extrareq/internal/stats"
+	"extrareq/internal/trace"
+	"extrareq/internal/workload"
+)
+
+// --- Figure 1 ---------------------------------------------------------------
+
+func BenchmarkFig1StackDistance(b *testing.B) {
+	seq := []uint64{1, 2, 3, 2, 3, 1}
+	for i := 0; i < b.N; i++ {
+		an := locality.NewAnalyzer()
+		for _, a := range seq {
+			an.Observe(a, "fig1")
+		}
+	}
+}
+
+// --- Listings 1-2 / §II-D ----------------------------------------------------
+
+func BenchmarkListing12MMMLocality(b *testing.B) {
+	var lastNaiveB float64
+	for i := 0; i < b.N; i++ {
+		naive, _ := locality.MMMStudy(32, 4)
+		for _, g := range naive {
+			if g.Group == locality.GroupB {
+				lastNaiveB = g.MedianStack
+			}
+		}
+	}
+	b.ReportMetric(lastNaiveB, "naiveSD(B)@n=32")
+}
+
+// --- Table II: the full measurement + modeling pipeline ----------------------
+
+// benchGrid is a reduced but still five-per-parameter grid to keep the
+// per-iteration cost of the pipeline benchmarks moderate.
+var benchGrid = workload.Grid{
+	Procs: []int{2, 4, 8, 16, 32},
+	Ns:    []int{128, 256, 512, 1024, 2048},
+	Seed:  42,
+}
+
+func benchmarkTable2App(b *testing.B, name string) {
+	app, ok := apps.ByName(name)
+	if !ok {
+		b.Fatalf("unknown app %s", name)
+	}
+	var cv float64
+	for i := 0; i < b.N; i++ {
+		c, err := workload.Run(app, benchGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fit, err := workload.Fit(c, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cv = fit.Info[metrics.Flops].CVScore
+	}
+	b.ReportMetric(cv, "flopCVSMAPE%")
+}
+
+func BenchmarkTable2RequirementsModels(b *testing.B) {
+	for _, name := range PaperAppNames() {
+		b.Run(name, func(b *testing.B) { benchmarkTable2App(b, name) })
+	}
+}
+
+// --- Figure 3 -----------------------------------------------------------------
+
+func BenchmarkFig3ErrorHistogram(b *testing.B) {
+	// One fixed campaign + fit outside the loop; the benchmark measures the
+	// classification step and reports the headline quality number.
+	c, err := workload.Run(apps.NewKripke(), benchGrid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fit, err := workload.Fit(c, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	errs := fit.RelErrors()
+	var frac float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		classes := stats.ClassifyRelativeErrors(errs)
+		frac = stats.FractionBelow(classes, 0.05)
+	}
+	b.ReportMetric(frac*100, "%below5")
+}
+
+// --- Table IV -----------------------------------------------------------------
+
+func BenchmarkTable4Walkthrough(b *testing.B) {
+	app := codesign.PaperLULESH()
+	base := codesign.DefaultBaseline()
+	up := Upgrades()[0]
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		steps, err := codesign.Walkthrough(app, base, up)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = steps[4].Ratio // overall problem size
+	}
+	b.ReportMetric(ratio, "overallRatio")
+}
+
+// --- Table V ------------------------------------------------------------------
+
+func BenchmarkTable5UpgradeStudy(b *testing.B) {
+	papers := PaperApps()
+	base := DefaultBaseline()
+	var kripkeMemA float64
+	for i := 0; i < b.N; i++ {
+		study, err := StudyUpgrades(papers, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kripkeMemA = study["Kripke"][0].MemAccessRatio
+	}
+	b.ReportMetric(kripkeMemA, "kripkeMemAccessA")
+}
+
+// --- Table VII ------------------------------------------------------------------
+
+func BenchmarkTable7ExascaleStudy(b *testing.B) {
+	papers := PaperApps()
+	var relearnVector float64
+	for i := 0; i < b.N; i++ {
+		res, err := StudyExascale(papers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.App.Name == "Relearn" {
+				relearnVector = r.Outcomes[1].MaxOverall
+			}
+		}
+	}
+	b.ReportMetric(relearnVector, "relearnVectorMaxN")
+}
+
+// --- Substrate benchmarks -------------------------------------------------------
+
+func BenchmarkStackDistanceAnalyzer(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 100000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(4096))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an := locality.NewAnalyzer()
+		an.MaxSamplesPerGroup = 1024
+		for _, a := range addrs {
+			an.Observe(a, "g")
+		}
+	}
+	b.SetBytes(int64(len(addrs)))
+}
+
+func BenchmarkSimMPIAllreduce(b *testing.B) {
+	payload := make([]float64, 1024)
+	for i := 0; i < b.N; i++ {
+		_, err := simmpi.Run(64, func(p *simmpi.Proc) error {
+			p.Allreduce(payload, simmpi.Sum)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelFitSingle(b *testing.B) {
+	var ms []modeling.Measurement
+	for _, x := range []float64{2, 4, 8, 16, 32, 64} {
+		ms = append(ms, modeling.Measurement{
+			Coords: []float64{x},
+			Values: []float64{100 * x * math.Log2(x)},
+		})
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := modeling.FitSingle("n", ms, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProxyAppStep(b *testing.B) {
+	for _, a := range apps.All() {
+		b.Run(a.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Run(apps.Config{Procs: 8, N: 1024, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §5) -----------------------------------------------------
+
+// ablationData is noisy n·log n data used by the selection ablations.
+func ablationData(seed int64) []modeling.Measurement {
+	rng := rand.New(rand.NewSource(seed))
+	var ms []modeling.Measurement
+	for _, x := range []float64{4, 8, 16, 32, 64, 128} {
+		v := 50 * x * math.Log2(x) * (1 + 0.03*rng.NormFloat64())
+		ms = append(ms, modeling.Measurement{Coords: []float64{x}, Values: []float64{v}})
+	}
+	return ms
+}
+
+// BenchmarkAblationSelection compares leave-one-out cross-validation
+// selection (the paper's method) against in-sample selection implemented by
+// turning the improvement threshold off: the reported metric is the
+// relative extrapolation error at 8x the measured range.
+func BenchmarkAblationSelection(b *testing.B) {
+	truth := func(x float64) float64 { return 50 * x * math.Log2(x) }
+	for _, mode := range []struct {
+		name string
+		opts func() *modeling.Options
+	}{
+		{"cv-default", func() *modeling.Options { return modeling.DefaultOptions() }},
+		{"overfit-prone", func() *modeling.Options {
+			o := modeling.DefaultOptions()
+			o.Improvement = 0 // accept any nominal improvement
+			o.NoiseFloor = 0  // never fall back to the constant model
+			o.MaxTerms = 3
+			return o
+		}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var sumErr float64
+			for i := 0; i < b.N; i++ {
+				ms := ablationData(int64(i))
+				info, err := modeling.FitSingle("n", ms, mode.opts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				x := 1024.0
+				sumErr += math.Abs(info.Model.Eval(x)-truth(x)) / truth(x)
+			}
+			// Mean across iterations: each iteration uses a different noise
+			// seed, so a single draw would be unrepresentative.
+			b.ReportMetric(sumErr/float64(b.N)*100, "meanExtrapErr%@8x")
+		})
+	}
+}
+
+// BenchmarkAblationSearch compares the default beam search (with the
+// exhaustive-pair fallback) against a single-term-only search on two-term
+// data (c1·x + c2·x²).
+func BenchmarkAblationSearch(b *testing.B) {
+	truth := func(x float64) float64 { return 1000*x + 2*x*x }
+	var ms []modeling.Measurement
+	for _, x := range []float64{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		ms = append(ms, modeling.Measurement{Coords: []float64{x}, Values: []float64{truth(x)}})
+	}
+	for _, mode := range []struct {
+		name     string
+		maxTerms int
+	}{
+		{"two-term-search", 2},
+		{"single-term-only", 1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var relErr float64
+			for i := 0; i < b.N; i++ {
+				o := modeling.DefaultOptions()
+				o.MaxTerms = mode.maxTerms
+				info, err := modeling.FitSingle("n", ms, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				x := 8192.0
+				relErr = math.Abs(info.Model.Eval(x)-truth(x)) / truth(x)
+			}
+			b.ReportMetric(relErr*100, "extrapErr%@8x")
+		})
+	}
+}
+
+// BenchmarkAblationLocalityAggregate compares median vs mean aggregation of
+// locality samples contaminated with the cross-loop outliers the paper
+// describes (§II-B): the median stays at the common case.
+func BenchmarkAblationLocalityAggregate(b *testing.B) {
+	mkMeasurements := func(seed int64) []modeling.Measurement {
+		rng := rand.New(rand.NewSource(seed))
+		var ms []modeling.Measurement
+		for _, x := range []float64{8, 16, 32, 64, 128} {
+			vals := make([]float64, 40)
+			for i := range vals {
+				vals[i] = 24 // common case: constant stack distance
+				if rng.Intn(10) == 0 {
+					vals[i] = 24 * x // cross-loop outlier grows with n
+				}
+			}
+			ms = append(ms, modeling.Measurement{Coords: []float64{x}, Values: vals})
+		}
+		return ms
+	}
+	for _, mode := range []struct {
+		name string
+		agg  func(modeling.Measurement) float64
+	}{
+		{"median", modeling.Measurement.Median},
+		{"mean", modeling.Measurement.Mean},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var pred float64
+			for i := 0; i < b.N; i++ {
+				info, err := modeling.FitSingleAggregated("n", mkMeasurements(int64(i)), mode.agg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pred = info.Model.Eval(1024)
+			}
+			// Truth: the common-case stack distance is the constant 24.
+			b.ReportMetric(pred, "predictedSD@n=1024")
+		})
+	}
+}
+
+// BenchmarkAblationBurstSampling compares the exact stack-distance median
+// against burst-sampled estimates at decreasing sampling rates.
+func BenchmarkAblationBurstSampling(b *testing.B) {
+	mkTrace := func() *trace.Buffer {
+		var buf trace.Buffer
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 200000; i++ {
+			buf.Record(uint64(rng.Intn(512)), "g")
+		}
+		return &buf
+	}
+	full := mkTrace()
+	exactAn := locality.NewAnalyzer()
+	exactAn.MaxSamplesPerGroup = 1 << 14
+	full.Replay(exactAn)
+	exact := exactAn.Groups()[0].MedianStack
+
+	for _, mode := range []struct {
+		name       string
+		burst, gap int64
+	}{
+		{"exact", 1, 0},
+		{"burst1:1", 4096, 4096},
+		{"burst1:7", 4096, 4096 * 7},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var got float64
+			for i := 0; i < b.N; i++ {
+				an := locality.NewAnalyzer()
+				an.MaxSamplesPerGroup = 1 << 14
+				s := trace.NewBurstSampler(an, mode.burst, mode.gap)
+				full.Replay(s)
+				got = an.Groups()[0].MedianStack
+			}
+			b.ReportMetric(100*math.Abs(got-exact)/exact, "medianSDerr%")
+		})
+	}
+}
+
+// BenchmarkAblationCollectiveTerms fits allreduce-shaped communication data
+// with and without the collective basis functions.
+func BenchmarkAblationCollectiveTerms(b *testing.B) {
+	var ms []modeling.Measurement
+	for _, p := range []float64{2, 4, 8, 16, 32, 64} {
+		// 8 KiB payload, recursive-doubling allreduce: 2·m·log2(p).
+		ms = append(ms, modeling.Measurement{
+			Coords: []float64{p},
+			Values: []float64{2 * 8192 * math.Log2(p)},
+		})
+	}
+	for _, mode := range []struct {
+		name        string
+		collectives bool
+	}{
+		{"with-collectives", true},
+		{"poly-log-only", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cv, named float64
+			for i := 0; i < b.N; i++ {
+				o := modeling.DefaultOptions()
+				o.Collectives = map[string]bool{"p": mode.collectives}
+				info, err := modeling.FitSingle("p", ms, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cv = info.CVScore
+				named = 0
+				for _, t := range info.Model.Terms {
+					if t.Factors[0].Special != pmnf.None {
+						named = 1
+					}
+				}
+			}
+			b.ReportMetric(cv, "cvSMAPE%")
+			// Interpretability: 1 when the model names the collective
+			// (e.g. "Allreduce(p)") instead of an anonymous log shape.
+			b.ReportMetric(named, "namedCollective")
+		})
+	}
+}

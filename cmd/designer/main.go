@@ -1,0 +1,94 @@
+// Command designer produces the complete co-design assessment of an
+// application on a candidate system: operating point, absolute per-process
+// requirements with bottleneck flags, rated per-resource service times, and
+// the upgrade comparison with a recommendation — the §II-E workflow in one
+// call.
+//
+// Usage:
+//
+//	designer -app MILC -system Vector
+//	designer -app LULESH -system "Massively parallel"
+//	designer -app Kripke -procs 1e6 -mem 2e9 -flops 1e10   # custom system
+//	designer -models m.json -app kripke -system Hybrid     # fitted models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"extrareq"
+	"extrareq/internal/codesign"
+	"extrareq/internal/machine"
+	"extrareq/internal/report"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "Kripke", "application to assess")
+		sysName = flag.String("system", "Vector", "straw-man system name (Table VI), or 'custom'")
+		procs   = flag.Float64("procs", 1e8, "custom system: processor count")
+		mem     = flag.Float64("mem", 1e8, "custom system: memory per processor, bytes")
+		flops   = flag.Float64("flops", 1e10, "custom system: flop/s per processor")
+		models  = flag.String("models", "", "JSON model file from 'reqmodel -export' (default: paper models)")
+		custom  = flag.String("custom-models", "", "inline model spec, e.g. 'bytes_used=1e3*n; flop=1e8*n^1.5*p^0.5; bytes_sent_recv=1e4*n; loads_stores=1e8*n; stack_distance=100'")
+	)
+	flag.Parse()
+
+	apps := extrareq.PaperApps()
+	if *models != "" {
+		data, err := os.ReadFile(*models)
+		if err != nil {
+			fatal(err)
+		}
+		if apps, err = codesign.LoadApps(data); err != nil {
+			fatal(err)
+		}
+	}
+	if *custom != "" {
+		app, err := codesign.ParseApp(*appName, *custom)
+		if err != nil {
+			fatal(err)
+		}
+		apps = []extrareq.App{app}
+	}
+	var app extrareq.App
+	found := false
+	for _, a := range apps {
+		if a.Name == *appName {
+			app, found = a, true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown app %q", *appName))
+	}
+
+	var sys machine.System
+	if *sysName == "custom" {
+		sys = machine.System{
+			Name: "custom", Nodes: 1,
+			Processors: *procs, MemPerProcessor: *mem, FlopsPerProcessor: *flops,
+		}
+	} else {
+		ok := false
+		for _, s := range machine.StrawMen() {
+			if s.Name == *sysName {
+				sys, ok = s, true
+			}
+		}
+		if !ok {
+			fatal(fmt.Errorf("unknown system %q (Table VI names, or 'custom')", *sysName))
+		}
+	}
+
+	d, err := codesign.Assess(app, sys, codesign.DefaultRates(sys.FlopsPerProcessor))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(report.DesignTable(d))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "designer:", err)
+	os.Exit(1)
+}

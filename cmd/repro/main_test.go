@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunAllPaperMode is the golden-ish smoke test for the repro tool: all
+// tables and Figure 1 in paper mode (Figure 3 needs measurements and is
+// covered by the slower pipeline tests).
+func TestRunAllPaperMode(t *testing.T) {
+	var buf strings.Builder
+	for _, table := range []int{1, 2, 3, 4, 5, 6, 7} {
+		if err := run(&buf, table, 0, false, "paper"); err != nil {
+			t.Fatalf("table %d: %v", table, err)
+		}
+	}
+	if err := run(&buf, 0, 1, false, "paper"); err != nil {
+		t.Fatalf("figure 1: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table I: Requirement metrics",
+		"Table II: Per-process requirements models",
+		"10^5·p^0.25·log2(p)·n·log2(n)", // LULESH FLOP from the paper
+		"Table III",
+		"Table IV: Workflow for determining the requirements of LULESH",
+		"System upgrade C: Double the memory",
+		"Table VI",
+		"Massively parallel",
+		"Table VII",
+		"does not fit", // icoFoam at exascale
+		"RD=4 SD=2",    // Figure 1
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repro output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownSource(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 1, 0, false, "bogus"); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestAppByName(t *testing.T) {
+	apps, _, err := resolveApps("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := appByName(apps, "MILC"); err != nil {
+		t.Errorf("MILC lookup failed: %v", err)
+	}
+	if _, err := appByName(apps, "nope"); err == nil {
+		t.Error("unknown app lookup succeeded")
+	}
+}

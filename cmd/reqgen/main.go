@@ -1,0 +1,121 @@
+// Command reqgen runs measurement campaigns for the proxy applications and
+// writes the raw per-configuration requirement measurements as JSON, one
+// file per application (the Score-P/PAPI/Threadspotter data-acquisition
+// step of the paper's workflow).
+//
+// Usage:
+//
+//	reqgen -app Kripke -out kripke.json
+//	reqgen -all -dir measurements/
+//	reqgen -app MILC -procs 4,8,16,32,64 -ns 512,1024,2048,4096,8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"extrareq"
+	"extrareq/internal/apps"
+	"extrareq/internal/extrap"
+	"extrareq/internal/workload"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "application to measure (Kripke, LULESH, MILC, Relearn, icoFoam)")
+		all     = flag.Bool("all", false, "measure every application")
+		out     = flag.String("out", "", "output file (single app; default <app>.json)")
+		dir     = flag.String("dir", ".", "output directory for -all")
+		procs   = flag.String("procs", "", "comma-separated process counts (default per-app grid)")
+		ns      = flag.String("ns", "", "comma-separated problem sizes (default per-app grid)")
+		seed    = flag.Int64("seed", 42, "measurement jitter seed")
+		format  = flag.String("format", "json", "output format: 'json' or 'extrap' (Extra-P text input)")
+	)
+	flag.Parse()
+	if !*all && *appName == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	names := []string{*appName}
+	if *all {
+		names = extrareq.PaperAppNames()
+	}
+	for _, name := range names {
+		grid := workload.DefaultGrid(name)
+		grid.Seed = *seed
+		var err error
+		if grid.Procs, err = overrideAxis(grid.Procs, *procs); err != nil {
+			fatal(err)
+		}
+		if grid.Ns, err = overrideAxis(grid.Ns, *ns); err != nil {
+			fatal(err)
+		}
+		a, ok := apps.ByName(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown application %q (have %v)", name, apps.Names()))
+		}
+		fmt.Fprintf(os.Stderr, "reqgen: measuring %s over %d configurations...\n",
+			name, len(grid.Procs)*len(grid.Ns))
+		c, err := workload.Run(a, grid)
+		if err != nil {
+			fatal(err)
+		}
+		ext := ".json"
+		if *format == "extrap" {
+			ext = ".txt"
+		}
+		path := *out
+		if path == "" || *all {
+			path = filepath.Join(*dir, strings.ToLower(name)+ext)
+		}
+		switch *format {
+		case "json":
+			if err := c.Save(path); err != nil {
+				fatal(err)
+			}
+		case "extrap":
+			e, err := extrap.FromCampaign(c)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := extrap.Write(f, e); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(fmt.Errorf("unknown format %q (want json or extrap)", *format))
+		}
+		fmt.Printf("wrote %s (%d samples)\n", path, len(c.Samples))
+	}
+}
+
+func overrideAxis(def []int, spec string) ([]int, error) {
+	if spec == "" {
+		return def, nil
+	}
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("reqgen: bad axis value %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reqgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command reqmodel fits requirements models from measurement campaigns
+// written by reqgen (the Extra-P step of the paper's workflow) and prints
+// them in Table II style together with fit-quality statistics.
+//
+// Usage:
+//
+//	reqmodel kripke.json lulesh.json ...
+//	reqmodel -quality kripke.json       # include per-metric fit quality
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"extrareq"
+	"extrareq/internal/codesign"
+	"extrareq/internal/extrap"
+	"extrareq/internal/metrics"
+	"extrareq/internal/report"
+	"extrareq/internal/workload"
+)
+
+func main() {
+	quality := flag.Bool("quality", false, "print per-metric fit quality (CV SMAPE, R²)")
+	export := flag.String("export", "", "write the fitted models as JSON (consumable by 'codesign -models')")
+	plotMetric := flag.String("plot", "", "render ASCII charts of one metric vs its model (e.g. 'flop', 'bytes_used')")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var fitted []extrareq.App
+	var fits []*workload.FitResult
+	for _, path := range flag.Args() {
+		c, err := loadCampaign(path)
+		if err != nil {
+			fatal(err)
+		}
+		fit, err := workload.Fit(c, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fitted = append(fitted, fit.App)
+		fits = append(fits, fit)
+		if *plotMetric != "" {
+			m, ok := metrics.ByName(*plotMetric)
+			if !ok {
+				fatal(fmt.Errorf("unknown metric %q", *plotMetric))
+			}
+			fmt.Println(report.ModelPlot(c, fit.Info[m], m))
+		}
+	}
+	if *quality {
+		fmt.Println(report.QualityTable(fits))
+	}
+	out, err := extrareq.RenderTable2(fitted, extrareq.DefaultBaseline())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(out)
+
+	if *export != "" {
+		data, err := codesign.SaveApps(fitted)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*export, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote models to %s\n", *export)
+	}
+}
+
+// loadCampaign reads a campaign from JSON (".json") or the Extra-P text
+// format (any other extension).
+func loadCampaign(path string) (*workload.Campaign, error) {
+	if strings.HasSuffix(path, ".json") {
+		return workload.Load(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	e, err := extrap.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return extrap.ToCampaign(e, name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reqmodel:", err)
+	os.Exit(1)
+}

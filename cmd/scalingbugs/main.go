@@ -1,0 +1,60 @@
+// Command scalingbugs runs the scaling-bug hunt that the Extra-P line of
+// work pioneered (the paper's reference [5]): it measures a proxy
+// application with per-call-path attribution, fits a scaling model for
+// every program location, and reports the locations whose requirement grows
+// super-logarithmically with the process count, ranked by how much they
+// inflate between the measured scale and a target scale.
+//
+// Usage:
+//
+//	scalingbugs -app Kripke -metric loads
+//	scalingbugs -app icoFoam -metric flop -p 1048576 -n 16384
+//	scalingbugs -app MILC -metric comm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"extrareq/internal/apps"
+	"extrareq/internal/workload"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "Kripke", "application to analyze")
+		metric  = flag.String("metric", "loads", "metric: flop, loads, stores, or comm")
+		p       = flag.Float64("p", 1<<20, "target process count")
+		n       = flag.Float64("n", 1<<14, "target problem size per process")
+	)
+	flag.Parse()
+	app, ok := apps.ByName(*appName)
+	if !ok {
+		fatal(fmt.Errorf("unknown application %q (have %v)", *appName, apps.Names()))
+	}
+	fmt.Fprintf(os.Stderr, "scalingbugs: measuring %s with call-path attribution...\n", app.Name())
+	c, err := workload.RunWithPaths(app, workload.DefaultGrid(app.Name()))
+	if err != nil {
+		fatal(err)
+	}
+	bugs, err := workload.FindScalingBugs(c, *metric, *p, *n, nil)
+	if err != nil {
+		fatal(err)
+	}
+	if len(bugs) == 0 {
+		fmt.Printf("%s: no %s scaling bugs — every program location grows at most logarithmically with p.\n",
+			app.Name(), *metric)
+		return
+	}
+	fmt.Printf("%s: %d program location(s) with super-logarithmic %s growth (target p=%g, n=%g):\n\n",
+		app.Name(), len(bugs), *metric, *p, *n)
+	for i, b := range bugs {
+		fmt.Printf("%2d. %s\n", i+1, workload.FormatBug(b))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scalingbugs:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// cachesweep extends the paper's §II-D analysis from stack-distance models
+// to concrete cache behaviour: using the classic LRU property (an access
+// hits a fully associative cache of capacity C exactly when its stack
+// distance is below C), it predicts miss-ratio curves for the naïve and
+// blocked matrix multiplications across matrix sizes — showing, without any
+// hardware, the performance-degradation staircase the paper describes
+// ("as the problem size grows, eventually the matrices will no longer fit
+// completely into the cache ... accesses to B will be the first to fail").
+package main
+
+import (
+	"fmt"
+
+	"extrareq/internal/locality"
+)
+
+func main() {
+	capacities := []int64{64, 256, 1024, 4096}
+	sizes := []int{8, 16, 24, 32, 48, 64}
+	const block = 4
+
+	fmt.Println("Predicted LRU miss ratios (all instruction groups), per cache capacity")
+	fmt.Println("(capacities in distinct 8-byte words):")
+	fmt.Printf("%6s %9s", "n", "kernel")
+	for _, c := range capacities {
+		fmt.Printf("  C=%-6d", c)
+	}
+	fmt.Println()
+	for _, n := range sizes {
+		for _, kernel := range []string{"naive", "blocked"} {
+			an := locality.NewAnalyzer()
+			a := make([]float64, n*n)
+			b := make([]float64, n*n)
+			c := make([]float64, n*n)
+			if kernel == "naive" {
+				locality.NaiveMMM(a, b, c, n, an)
+			} else {
+				locality.BlockedMMM(a, b, c, n, block, an)
+			}
+			fmt.Printf("%6d %9s", n, kernel)
+			for _, cap := range capacities {
+				fmt.Printf("  %7.1f%%", 100*an.TotalMissRatio(cap))
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println("\nReading the table:")
+	fmt.Println("- naive: each capacity column shows the §II-D staircase — flat while the")
+	fmt.Println("  matrices fit, then B starts missing (around n² ≈ C), then A (around 2n ≈ C).")
+	fmt.Printf("- blocked (b=%d): the miss ratio settles at ~1/b for B and stays independent\n", block)
+	fmt.Println("  of n: the kernel is locality-preserving, so larger problems add no memory")
+	fmt.Println("  pressure. This is the quantitative form of the paper's conclusion that the")
+	fmt.Println("  blocked implementation is preferable at equal flops and accesses.")
+
+	// Critical capacity: the smallest cache that keeps each kernel at
+	// <= 15% misses for n = 48.
+	an := locality.NewAnalyzer()
+	n := 48
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	locality.NaiveMMM(a, b, c, n, an)
+	candidates := []int64{64, 256, 1024, 4096, 16384}
+	fmt.Printf("\nSmallest capacity with <=15%% misses at n=48: naive needs %d words",
+		an.CriticalCapacity(candidates, 0.15))
+	an2 := locality.NewAnalyzer()
+	locality.BlockedMMM(a, b, make([]float64, n*n), n, block, an2)
+	fmt.Printf(", blocked needs %d words.\n", an2.CriticalCapacity(candidates, 0.15))
+}

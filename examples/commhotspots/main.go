@@ -1,0 +1,44 @@
+// commhotspots demonstrates the paper's fine-granularity attribution
+// (§II-B): communication requirements are measured "at the granularity of
+// individual function call paths", which "allows bottlenecks to be
+// precisely attributed to individual program locations". The example
+// measures the MILC proxy, fits a scaling model for every MPI call path,
+// and ranks the paths by their extrapolated volume on a hypothetical
+// million-process machine — pointing the developer at the line of code
+// that will dominate communication at scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"extrareq"
+)
+
+func main() {
+	fmt.Println("Measuring MILC with per-call-path communication attribution...")
+	campaign, err := extrareq.MeasurePaths("MILC")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-path scaling models.
+	fmt.Println("\nFitted per-call-path communication models r(p, n):")
+	hot, err := extrareq.CommHotSpots(campaign, 1<<20, 1<<14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range hot {
+		fmt.Printf("  %-28s %-36s -> %.3g bytes/process at (p=2^20, n=2^14)\n",
+			h.Path, h.Model.String(), h.Predicted)
+	}
+
+	fmt.Println("\nReading the ranking:")
+	fmt.Println("- the lattice halo exchange grows linearly with the local problem size")
+	fmt.Println("  and dominates at scale;")
+	fmt.Println("- the CG dot products are recognized as Allreduce(p), growing only")
+	fmt.Println("  logarithmically with the machine;")
+	fmt.Println("- the per-trajectory parameter broadcast is negligible.")
+	fmt.Println("A system designer reads off the injection bandwidth the network must")
+	fmt.Println("sustain; an application developer reads off which call site to optimize.")
+}

@@ -1,0 +1,69 @@
+// exascale reproduces the paper's second co-design question (§III-B):
+// "How would the performance change when an application is ported between
+// different proposed exascale systems?" It maps the five case-study
+// applications onto the three Table VI straw-man systems (massively
+// parallel, vector, hybrid; 1 exaflop/s and 10 PB each), prints Table VII,
+// and evaluates the paper's proposed LULESH optimization — making the p and
+// n effects additive instead of multiplicative — to show the predicted
+// three-orders-of-magnitude improvement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"extrareq"
+	"extrareq/internal/codesign"
+	"extrareq/internal/metrics"
+	"extrareq/internal/pmnf"
+)
+
+func main() {
+	fmt.Println(extrareq.RenderTable6())
+
+	apps := extrareq.PaperApps()
+	results, err := extrareq.StudyExascale(apps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(extrareq.RenderTable7(results))
+
+	// The paper's proposed optimization: change LULESH so that
+	// #FLOP = 10^5·n·log n + p^0.25·log p (additive) instead of the
+	// measured multiplicative coupling.
+	optimized := optimizedLULESH()
+	optRes, err := extrareq.StudyExascale([]extrareq.App{optimized})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("With the paper's proposed additive-FLOP optimization for LULESH:")
+	var before codesign.ExascaleResult
+	for _, r := range results {
+		if r.App.Name == "LULESH" {
+			before = r
+		}
+	}
+	for i, o := range optRes[0].Outcomes {
+		fmt.Printf("  %-20s wall time %8.3gs -> %8.3gs (%.0fx faster)\n",
+			o.System.Name, before.Outcomes[i].WallTime, o.WallTime,
+			before.Outcomes[i].WallTime/o.WallTime)
+	}
+	fmt.Println("\n(The paper predicts ~three orders of magnitude, and that the optimized")
+	fmt.Println("code would favor the massively parallel system instead of the vector one.)")
+}
+
+// optimizedLULESH clones the paper's LULESH models but replaces the FLOP
+// model with the additive form proposed in §III-B.
+func optimizedLULESH() extrareq.App {
+	app := codesign.PaperLULESH()
+	flop := &pmnf.Model{Params: []string{"p", "n"}}
+	flop.AddTerm(pmnf.Term{Coeff: 1e5, Factors: []pmnf.Factor{
+		{}, {Poly: 1, Log: 1},
+	}})
+	flop.AddTerm(pmnf.Term{Coeff: 1, Factors: []pmnf.Factor{
+		{Poly: 0.25, Log: 1}, {},
+	}})
+	app.Models[metrics.Flops] = flop
+	app.Name = "LULESH (additive)"
+	return app
+}

@@ -1,0 +1,58 @@
+// upgradestudy reproduces the paper's first co-design question (§III-A):
+// "Given a large system defined such that the application equally exhausts
+// all available resources, which of the possible upgrades would benefit the
+// application most?" It evaluates the three Table III upgrades for all five
+// case-study applications using the published Table II models, prints
+// Table IV (the LULESH walk-through) and Table V, and derives the paper's
+// per-application recommendations.
+package main
+
+import (
+	"extrareq/internal/codesign"
+	"fmt"
+	"log"
+
+	"extrareq"
+)
+
+func main() {
+	apps := extrareq.PaperApps()
+	base := extrareq.DefaultBaseline()
+
+	fmt.Println(extrareq.RenderTable3())
+
+	// Table IV: the step-by-step walk-through for LULESH under upgrade A.
+	lulesh := apps[1]
+	walkthrough, err := extrareq.RenderTable4(lulesh, base, extrareq.Upgrades()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(walkthrough)
+
+	// Table V: the full comparison.
+	study, err := extrareq.StudyUpgrades(apps, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(extrareq.RenderTable5(study, extrareq.PaperAppNames()))
+
+	// The paper's qualitative summary: score each upgrade by how much of
+	// its ideal overall-problem growth it delivers, penalized by
+	// per-process requirement overshoot.
+	fmt.Println("Which upgrade benefits each application most?")
+	for _, name := range extrareq.PaperAppNames() {
+		scores := ""
+		for _, o := range study[name] {
+			scores += fmt.Sprintf("  %s=%.2f", o.Upgrade.Key, codesign.BenefitScore(o))
+		}
+		best, ok := codesign.BestUpgrade(study[name])
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-8s benefits most from: %-18s (scores:%s)\n", name, best.Upgrade.Name, scores)
+	}
+	fmt.Println("\n(The paper: Kripke is balanced; LULESH favors more racks; MILC and")
+	fmt.Println("Relearn favor more memory; icoFoam benefits only from more memory.")
+	fmt.Println("Several cells are near-ties and depend on the baseline operating point;")
+	fmt.Println("EXPERIMENTS.md discusses the deviations cell by cell.)")
+}

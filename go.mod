@@ -1,0 +1,3 @@
+module extrareq
+
+go 1.24

@@ -1,0 +1,142 @@
+// Package apps contains the five synthetic proxy applications of the
+// paper's case study (§III): Kripke, LULESH, MILC, Relearn, and icoFoam.
+//
+// Each proxy executes the same algorithmic structure as the original code
+// (sweep transport, Lagrangian hydro with ghost exchange, 4D-lattice
+// conjugate gradient, structural-plasticity octree search, and a PISO
+// pressure solver, respectively) on the simulated MPI runtime, with
+// instrumented kernels that update the per-process counters of package
+// counters. The per-process counts follow the same dominant growth terms in
+// p and n that the paper reports in Table II; absolute coefficients differ
+// from the paper because the substrate is a simulator, not JUQUEEN (see
+// EXPERIMENTS.md).
+//
+// To keep simulation time bounded, compute kernels execute representative
+// arithmetic on a strided subset of their data (workSampling) while the
+// counters record the full semantic operation counts. Requirements models
+// are built from the counters, which is exactly the quantity the paper
+// measures.
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"extrareq/internal/simmpi"
+	"extrareq/internal/trace"
+)
+
+// Config selects one measurement configuration of an application.
+type Config struct {
+	// Procs is the number of MPI processes p.
+	Procs int
+	// N is the problem size per process (zones, cells, lattice sites, or
+	// neurons, depending on the app).
+	N int
+	// Steps is the number of outer timesteps; 0 selects the app default.
+	Steps int
+	// Seed drives the deterministic measurement jitter (convergence
+	// variation); runs with the same Config are bit-reproducible.
+	Seed int64
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("p=%d n=%d steps=%d seed=%d", c.Procs, c.N, c.Steps, c.Seed)
+}
+
+// validate normalizes and checks a config.
+func (c *Config) validate(defaultSteps int) error {
+	if c.Procs < 1 {
+		return fmt.Errorf("apps: invalid process count %d", c.Procs)
+	}
+	if c.N < 1 {
+		return fmt.Errorf("apps: invalid problem size %d", c.N)
+	}
+	if c.Steps == 0 {
+		c.Steps = defaultSteps
+	}
+	if c.Steps < 0 {
+		return fmt.Errorf("apps: invalid step count %d", c.Steps)
+	}
+	return nil
+}
+
+// App is a runnable proxy application.
+type App interface {
+	// Name returns the application name as used in the paper.
+	Name() string
+	// Run executes the app at the given configuration and returns the
+	// per-rank results (counters and profiles).
+	Run(cfg Config) ([]simmpi.Result, error)
+	// LocalityProbe replays the app's characteristic inner-loop memory
+	// access pattern at per-process problem size n into the recorder, for
+	// the Threadspotter-substitute locality analysis. The probe is
+	// single-process (the paper measures locality per process).
+	LocalityProbe(n int, rec trace.Recorder)
+}
+
+// All returns the five case-study applications in the paper's order.
+func All() []App {
+	return []App{NewKripke(), NewLULESH(), NewMILC(), NewRelearn(), NewIcoFoam()}
+}
+
+// ByName returns the named app (case-sensitive, as in the paper).
+func ByName(name string) (App, bool) {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists the app names in order.
+func Names() []string {
+	var out []string
+	for _, a := range All() {
+		out = append(out, a.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// workSampling is the stride at which compute kernels execute real
+// arithmetic; counters always record the full semantic counts.
+const workSampling = 8
+
+// jitter returns a deterministic multiplicative noise factor ~ N(1, sigma)
+// for the given config and stream label, emulating run-to-run convergence
+// variation. The factor is clamped to [1-3sigma, 1+3sigma].
+func jitter(cfg Config, stream string, sigma float64) float64 {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(stream) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ h ^ int64(cfg.Procs)<<32 ^ int64(cfg.N)))
+	f := 1 + sigma*rng.NormFloat64()
+	lo, hi := 1-3*sigma, 1+3*sigma
+	return math.Min(math.Max(f, lo), hi)
+}
+
+// log2i returns log2(x) for x >= 1 as a float (0 for x < 2).
+func log2i(x int) float64 {
+	if x < 2 {
+		return 0
+	}
+	return math.Log2(float64(x))
+}
+
+// touch performs representative arithmetic over data with the package
+// sampling stride and returns a value that depends on every visited
+// element, preventing dead-code elimination.
+func touch(data []float64, f func(v float64) float64) float64 {
+	acc := 0.0
+	for i := 0; i < len(data); i += workSampling {
+		data[i] = f(data[i])
+		acc += data[i]
+	}
+	return acc
+}

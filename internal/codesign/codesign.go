@@ -1,0 +1,127 @@
+// Package codesign implements the paper's co-design methodology (§II-E):
+// given an application's requirements models r(p, n) and a system skeleton
+// (process count and memory per process), it determines the operating point
+// by "inflating" the problem until it fills memory, evaluates the relative
+// requirement changes under system upgrades (Tables III-V), maps
+// applications onto absolute exascale straw-man systems (Tables VI-VII),
+// and flags likely bottlenecks (the warning signs of Table II).
+package codesign
+
+import (
+	"errors"
+	"fmt"
+
+	"extrareq/internal/machine"
+	"extrareq/internal/metrics"
+	"extrareq/internal/pmnf"
+)
+
+// App bundles an application's requirements models. Every model is a
+// function of the parameters ["p", "n"]: the number of processes and the
+// per-process problem size.
+type App struct {
+	Name string
+	// Models holds one requirements model per metric. All five Table I
+	// metrics should be present for the full analysis; methods degrade
+	// gracefully (returning errors) when one is missing.
+	Models map[metrics.Metric]*pmnf.Model
+}
+
+// Model returns the model for metric m, or an error naming what is missing.
+func (a App) Model(m metrics.Metric) (*pmnf.Model, error) {
+	mod, ok := a.Models[m]
+	if !ok || mod == nil {
+		return nil, fmt.Errorf("codesign: app %s has no %s model", a.Name, m)
+	}
+	return mod, nil
+}
+
+// Eval evaluates metric m at (p, n).
+func (a App) Eval(m metrics.Metric, p, n float64) (float64, error) {
+	mod, err := a.Model(m)
+	if err != nil {
+		return 0, err
+	}
+	return mod.Eval(p, n), nil
+}
+
+// Errors of the problem-inflation step.
+var (
+	// ErrDoesNotFit means even the minimal problem (n = 1) exceeds the
+	// memory available per process — the paper's icoFoam-at-exascale case.
+	ErrDoesNotFit = errors.New("codesign: application does not fit in per-process memory")
+	// ErrNotInvertible means the footprint model does not grow with n, so
+	// no problem size exhausts memory.
+	ErrNotInvertible = errors.New("codesign: memory footprint model does not grow with n")
+)
+
+// maxProblemSize bounds the inflation search; beyond this the model is
+// considered n-independent.
+const maxProblemSize = 1e30
+
+// InflateProblem computes the per-process problem size n at which the
+// application's memory footprint model equals the memory available per
+// process, implementing the paper's rule: "we 'inflate' the input problem
+// until it completely occupies the available memory".
+func InflateProblem(footprint *pmnf.Model, p, memBytes float64) (float64, error) {
+	f := func(n float64) float64 { return footprint.Eval(p, n) }
+	if f(1) > memBytes {
+		return 0, fmt.Errorf("%w: footprint(p=%g, n=1) = %g > %g bytes",
+			ErrDoesNotFit, p, f(1), memBytes)
+	}
+	// Exponential search for an upper bracket.
+	lo, hi := 1.0, 2.0
+	for f(hi) < memBytes {
+		lo = hi
+		hi *= 2
+		if hi > maxProblemSize {
+			return 0, ErrNotInvertible
+		}
+	}
+	// Bisection: footprint models are nondecreasing in n on the domain.
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if mid == lo || mid == hi {
+			break
+		}
+		if f(mid) < memBytes {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// OperatingPoint is an application's configuration on a concrete system
+// skeleton: all processors used, problem inflated to fill memory.
+type OperatingPoint struct {
+	P float64 // processes
+	N float64 // problem size per process
+}
+
+// Overall returns the overall problem size p·n (the paper's N).
+func (o OperatingPoint) Overall() float64 { return o.P * o.N }
+
+// Operate determines the operating point of the app on a skeleton.
+func (a App) Operate(s machine.Skeleton) (OperatingPoint, error) {
+	fp, err := a.Model(metrics.MemoryBytes)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	n, err := InflateProblem(fp, s.P, s.Mem)
+	if err != nil {
+		return OperatingPoint{}, fmt.Errorf("app %s on skeleton p=%g mem=%g: %w", a.Name, s.P, s.Mem, err)
+	}
+	return OperatingPoint{P: s.P, N: n}, nil
+}
+
+// DefaultBaseline is the documented baseline skeleton for relative upgrade
+// studies: 2^16 processes with 2 GiB of memory each. The paper defines its
+// baseline only implicitly ("a large system defined such that the
+// application equally exhausts all available resources"); this concrete
+// choice is recorded in EXPERIMENTS.md along with its effect on the
+// operating-point-sensitive cells of Table V.
+func DefaultBaseline() machine.Skeleton {
+	return machine.Skeleton{P: 1 << 16, Mem: 2 * (1 << 30)}
+}

@@ -1,0 +1,97 @@
+package codesign
+
+import (
+	"errors"
+	"fmt"
+
+	"extrareq/internal/machine"
+	"extrareq/internal/metrics"
+)
+
+// Design is the complete designer-facing assessment of one application on
+// one candidate system: the §II-E workflow end to end. It aggregates the
+// operating point, the absolute per-process requirement values, the
+// bottleneck flags, the rated service-time breakdown, and the relative
+// upgrade comparison with benefit scores.
+type Design struct {
+	App    App
+	System machine.System
+	// Fits is false when the application cannot run with all processors in
+	// use; the remaining fields except Warnings are zero in that case.
+	Fits bool
+
+	Op OperatingPoint
+	// Requirements holds the per-process value of every modeled metric at
+	// the operating point.
+	Requirements map[metrics.Metric]float64
+	// Warnings are the Table II bottleneck flags at this skeleton.
+	Warnings map[metrics.Metric]bool
+	// Breakdown is the rated per-resource service time for one full run at
+	// the operating point.
+	Breakdown TimeBreakdown
+	// Upgrades holds the Table III outcomes with their benefit scores, and
+	// Best the winning upgrade (by BenefitScore).
+	Upgrades []UpgradeOutcome
+	Best     UpgradeOutcome
+}
+
+// Assess runs the full co-design workflow for app on sys with the given
+// per-processor rates.
+func Assess(app App, sys machine.System, rates Rates) (*Design, error) {
+	d := &Design{App: app, System: sys}
+	sk := sys.Skeleton()
+
+	warns, err := Warnings(app, sk)
+	if err != nil {
+		return nil, fmt.Errorf("codesign: warnings for %s: %w", app.Name, err)
+	}
+	d.Warnings = warns
+
+	op, err := app.Operate(sk)
+	if err != nil {
+		// Not fitting is a result, not a failure; anything else (e.g. a
+		// missing footprint model) is a usage error.
+		if errors.Is(err, ErrDoesNotFit) || errors.Is(err, ErrNotInvertible) {
+			return d, nil
+		}
+		return nil, err
+	}
+	d.Fits = true
+	d.Op = op
+
+	d.Requirements = map[metrics.Metric]float64{}
+	for m := range app.Models {
+		v, err := app.Eval(m, op.P, op.N)
+		if err != nil {
+			return nil, err
+		}
+		d.Requirements[m] = v
+	}
+
+	if tb, err := RatedTime(app, sys, rates, op.P, op.N); err == nil {
+		d.Breakdown = tb
+	}
+
+	for _, up := range machine.Upgrades() {
+		o, err := EvaluateUpgrade(app, sk, up)
+		if err != nil {
+			return nil, fmt.Errorf("codesign: upgrade %s: %w", up.Key, err)
+		}
+		d.Upgrades = append(d.Upgrades, o)
+	}
+	if best, ok := BestUpgrade(d.Upgrades); ok {
+		d.Best = best
+	}
+	return d, nil
+}
+
+// WarningCount returns the number of flagged metrics.
+func (d *Design) WarningCount() int {
+	n := 0
+	for _, flagged := range d.Warnings {
+		if flagged {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,68 @@
+package codesign
+
+import (
+	"math"
+	"testing"
+
+	"extrareq/internal/machine"
+	"extrareq/internal/metrics"
+)
+
+func TestAssessKripkeOnVector(t *testing.T) {
+	sys := machine.StrawMen()[1] // vector
+	d, err := Assess(PaperKripke(), sys, DefaultRates(sys.FlopsPerProcessor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Fits {
+		t.Fatal("Kripke must fit the vector system")
+	}
+	// Footprint model 1e5·n = 2e8 -> n = 2000.
+	if math.Abs(d.Op.N-2000) > 1 {
+		t.Errorf("n = %g, want 2000", d.Op.N)
+	}
+	if got := d.Requirements[metrics.Flops]; math.Abs(got-1e7*2000) > 1e7 {
+		t.Errorf("flops = %g, want 2e10", got)
+	}
+	if !d.Warnings[metrics.LoadsStores] {
+		t.Error("loads/stores warning missing")
+	}
+	if d.WarningCount() != 1 {
+		t.Errorf("warning count = %d, want 1", d.WarningCount())
+	}
+	if d.Breakdown.Compute <= 0 || d.Breakdown.Bottleneck() == "" {
+		t.Errorf("breakdown not computed: %+v", d.Breakdown)
+	}
+	if len(d.Upgrades) != 3 {
+		t.Fatalf("got %d upgrades", len(d.Upgrades))
+	}
+	if d.Best.Upgrade.Key == "" {
+		t.Error("no best upgrade selected")
+	}
+}
+
+func TestAssessIcoFoamDoesNotFit(t *testing.T) {
+	sys := machine.StrawMen()[0]
+	d, err := Assess(PaperIcoFoam(), sys, DefaultRates(sys.FlopsPerProcessor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Fits {
+		t.Fatal("icoFoam must not fit the massively parallel straw-man")
+	}
+	// Warnings are still computed (footprint flagged even without a fit).
+	if !d.Warnings[metrics.MemoryBytes] {
+		t.Error("footprint warning missing for non-fitting app")
+	}
+	if d.Requirements != nil || len(d.Upgrades) != 0 {
+		t.Error("non-fitting design should carry no requirement values")
+	}
+}
+
+func TestAssessMissingModels(t *testing.T) {
+	app := App{Name: "bare", Models: nil}
+	sys := machine.StrawMen()[2]
+	if _, err := Assess(app, sys, DefaultRates(1e9)); err == nil {
+		t.Fatal("missing footprint model should be reported via Operate error path")
+	}
+}

@@ -1,0 +1,107 @@
+package codesign
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"extrareq/internal/machine"
+	"extrareq/internal/metrics"
+)
+
+// SystemOutcome is one application × straw-man-system cell of Table VII.
+type SystemOutcome struct {
+	System machine.System
+	// Fits is false when the per-process memory cannot hold even the
+	// minimal problem if all processors are used (the paper's icoFoam
+	// case).
+	Fits bool
+	// NPerProc is the per-process problem size that fills memory.
+	NPerProc float64
+	// MaxOverall is the maximum overall problem size p·n.
+	MaxOverall float64
+	// WallTime is the lower-bound time (seconds) to solve the common
+	// benchmark problem, #FLOP(p, n_bench)/flop-rate, assuming perfect
+	// parallelization (NaN when the app does not fit or no common problem
+	// exists).
+	WallTime float64
+}
+
+// ExascaleResult is one application row group of Table VII.
+type ExascaleResult struct {
+	App App
+	// CommonProblem is the largest overall problem solvable on every system
+	// the app fits on (the paper's benchmark problem); 0 when the app fits
+	// nowhere.
+	CommonProblem float64
+	Outcomes      []SystemOutcome
+}
+
+// ExascaleStudy maps one application onto the given absolute systems,
+// reproducing the Table VII workflow: inflate the problem per system, take
+// the largest problem solvable everywhere as the benchmark, and bound the
+// wall time by #FLOP divided by the processor's floating-point rate.
+func ExascaleStudy(app App, systems []machine.System) (ExascaleResult, error) {
+	res := ExascaleResult{App: app}
+	fp, err := app.Model(metrics.MemoryBytes)
+	if err != nil {
+		return res, err
+	}
+	flop, err := app.Model(metrics.Flops)
+	if err != nil {
+		return res, err
+	}
+
+	common := math.Inf(1)
+	anyFits := false
+	for _, sys := range systems {
+		sk := sys.Skeleton()
+		o := SystemOutcome{System: sys, WallTime: math.NaN()}
+		n, ierr := InflateProblem(fp, sk.P, sk.Mem)
+		switch {
+		case ierr == nil:
+			o.Fits = true
+			o.NPerProc = n
+			o.MaxOverall = sk.P * n
+			anyFits = true
+			common = math.Min(common, o.MaxOverall)
+		case errors.Is(ierr, ErrDoesNotFit):
+			o.Fits = false
+		default:
+			return res, fmt.Errorf("app %s on %s: %w", app.Name, sys.Name, ierr)
+		}
+		res.Outcomes = append(res.Outcomes, o)
+	}
+	if !anyFits {
+		return res, nil
+	}
+	res.CommonProblem = common
+
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		if !o.Fits {
+			continue
+		}
+		nBench := res.CommonProblem / o.System.Processors
+		if nBench < 1 {
+			nBench = 1
+		}
+		flops := flop.Eval(o.System.Processors, nBench)
+		o.WallTime = flops / o.System.FlopsPerProcessor
+	}
+	return res, nil
+}
+
+// ExascaleStudyAll runs the study for every app on the Table VI straw-men.
+func ExascaleStudyAll(apps []App) ([]ExascaleResult, error) {
+	systems := machine.StrawMen()
+	out := make([]ExascaleResult, 0, len(apps))
+	for _, app := range apps {
+		r, err := ExascaleStudy(app, systems)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package codesign
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"extrareq/internal/metrics"
+	"extrareq/internal/pmnf"
+)
+
+// App serializes with human-readable metric names as keys, so model files
+// exported by reqmodel and consumed by the codesign tool are reviewable:
+//
+//	{"name":"Kripke","models":{"flop":{...},"bytes_used":{...}}}
+
+type appJSON struct {
+	Name   string                 `json:"name"`
+	Models map[string]*pmnf.Model `json:"models"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (a App) MarshalJSON() ([]byte, error) {
+	out := appJSON{Name: a.Name, Models: map[string]*pmnf.Model{}}
+	for m, model := range a.Models {
+		out.Models[m.String()] = model
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Unknown metric names are
+// rejected so that typos in hand-edited model files surface immediately.
+func (a *App) UnmarshalJSON(data []byte) error {
+	var in appJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	a.Name = in.Name
+	a.Models = map[metrics.Metric]*pmnf.Model{}
+	for name, model := range in.Models {
+		m, ok := metrics.ByName(name)
+		if !ok {
+			return fmt.Errorf("codesign: unknown metric %q in models of %s", name, in.Name)
+		}
+		a.Models[m] = model
+	}
+	return nil
+}
+
+// SaveApps serializes a set of apps (one JSON array).
+func SaveApps(apps []App) ([]byte, error) {
+	return json.MarshalIndent(apps, "", "  ")
+}
+
+// LoadApps parses a JSON array written by SaveApps.
+func LoadApps(data []byte) ([]App, error) {
+	var apps []App
+	if err := json.Unmarshal(data, &apps); err != nil {
+		return nil, fmt.Errorf("codesign: parsing app models: %w", err)
+	}
+	return apps, nil
+}
+
+// ParseApp builds an App from a ';'-separated "metric=expression" spec over
+// the parameters (p, n), e.g.
+//
+//	"bytes_used=1e3*n + 1e2*p*log2(p); flop=1e8*n^1.5*p^0.5"
+//
+// Metric names are the canonical Table I identifiers (bytes_used, flop,
+// bytes_sent_recv, loads_stores, stack_distance).
+func ParseApp(name, spec string) (App, error) {
+	models, err := pmnf.ParseAppModels(spec, "p", "n")
+	if err != nil {
+		return App{}, err
+	}
+	app := App{Name: name, Models: map[metrics.Metric]*pmnf.Model{}}
+	for metricName, model := range models {
+		m, ok := metrics.ByName(metricName)
+		if !ok {
+			return App{}, fmt.Errorf("codesign: unknown metric %q in spec", metricName)
+		}
+		app.Models[m] = model
+	}
+	return app, nil
+}

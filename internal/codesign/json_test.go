@@ -1,0 +1,117 @@
+package codesign
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"extrareq/internal/metrics"
+)
+
+func TestAppJSONRoundTrip(t *testing.T) {
+	apps := PaperApps()
+	data, err := SaveApps(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadApps(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(apps) {
+		t.Fatalf("got %d apps, want %d", len(back), len(apps))
+	}
+	// Every model must evaluate identically after the round trip,
+	// including the collective basis functions.
+	for i, app := range apps {
+		for _, m := range metrics.All() {
+			orig := app.Models[m]
+			restored := back[i].Models[m]
+			if restored == nil {
+				t.Fatalf("%s %s lost in round trip", app.Name, m)
+			}
+			for _, pt := range [][2]float64{{16, 100}, {1 << 20, 1 << 14}} {
+				a, b := orig.Eval(pt[0], pt[1]), restored.Eval(pt[0], pt[1])
+				if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+					t.Errorf("%s %s at (%g,%g): %g != %g", app.Name, m, pt[0], pt[1], a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestAppJSONReadable(t *testing.T) {
+	data, err := json.Marshal(PaperKripke())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"name":"Kripke"`, `"flop"`, `"bytes_used"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("serialized app missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestAppJSONRejectsUnknownMetric(t *testing.T) {
+	_, err := LoadApps([]byte(`[{"name":"x","models":{"bogus_metric":{"params":["p","n"],"constant":1}}}]`))
+	if err == nil || !strings.Contains(err.Error(), "bogus_metric") {
+		t.Fatalf("expected unknown-metric error, got %v", err)
+	}
+}
+
+func TestLoadAppsBadJSON(t *testing.T) {
+	if _, err := LoadApps([]byte(`{not json`)); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestParseApp(t *testing.T) {
+	app, err := ParseApp("custom", "bytes_used=1e3*n; flop=1e8*n^1.5*p^0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != "custom" || len(app.Models) != 2 {
+		t.Fatalf("app = %+v", app)
+	}
+	v, err := app.Eval(metrics.Flops, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1e8*8*2) > 1 {
+		t.Errorf("flop eval = %g", v)
+	}
+	// The parsed app drives the full workflow.
+	op, err := app.Operate(DefaultBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.N <= 0 {
+		t.Errorf("operating point %+v", op)
+	}
+	if _, err := ParseApp("x", "bogus_metric=n"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if _, err := ParseApp("x", "flop=^^"); err == nil {
+		t.Error("bad expression accepted")
+	}
+}
+
+func TestRoundTrippedAppDrivesStudies(t *testing.T) {
+	data, err := SaveApps([]App{PaperRelearn()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadApps(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExascaleStudyAll(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res[0].Outcomes[2].MaxOverall-1e12) > 1e10 {
+		t.Errorf("restored Relearn hybrid max overall = %g, want 1e12", res[0].Outcomes[2].MaxOverall)
+	}
+}

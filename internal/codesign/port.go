@@ -1,0 +1,123 @@
+package codesign
+
+import (
+	"fmt"
+	"math"
+
+	"extrareq/internal/machine"
+	"extrareq/internal/metrics"
+)
+
+// Port analysis (§II-E): "Once we have calculated the requirements of our
+// application on two different systems A and B using the tuples (p_A, n_A)
+// and (p_B, n_B) ... we can compare how the ratio of requirements changes
+// as the application is ported from one system to the other. For example,
+// let us assume the ratio between the number of floating-point operations
+// and the number of bytes sent across the network on system A is r, while
+// it is r/k on system B. This means that communication requirements will
+// grow by a factor of k as the application is ported from A to B."
+
+// RequirementShift describes how the balance between two requirements
+// changes when the application is ported from system A to system B.
+type RequirementShift struct {
+	// Numerator/Denominator identify the requirement pair, e.g. Flops over
+	// CommBytes (the flop-to-byte balance).
+	Numerator, Denominator metrics.Metric
+	// RatioA and RatioB are the numerator/denominator ratios at the two
+	// operating points.
+	RatioA, RatioB float64
+	// K = RatioA / RatioB: the factor by which the denominator requirement
+	// grows relative to the numerator on system B. K > 1 means system B
+	// must serve the denominator resource K× faster relative to the
+	// numerator (or the application must be optimized to restore the
+	// balance) — the paper's two readings of the example.
+	K float64
+}
+
+// PortAnalysis is the result of porting one app between two skeletons.
+type PortAnalysis struct {
+	App    App
+	A, B   OperatingPoint
+	Shifts []RequirementShift
+}
+
+// balancePairs are the requirement balances the analysis reports: the
+// flop-to-network, flop-to-memory-access, and memory-footprint-to-flop
+// ratios, covering the byte-to-flop style balances system designers use.
+var balancePairs = [][2]metrics.Metric{
+	{metrics.Flops, metrics.CommBytes},
+	{metrics.Flops, metrics.LoadsStores},
+	{metrics.Flops, metrics.MemoryBytes},
+}
+
+// AnalyzePort evaluates the requirement-balance shifts when porting app
+// from skeleton A to skeleton B, after inflating the problem to fill each
+// system's memory.
+func AnalyzePort(app App, a, b machine.Skeleton) (*PortAnalysis, error) {
+	opA, err := app.Operate(a)
+	if err != nil {
+		return nil, fmt.Errorf("system A: %w", err)
+	}
+	opB, err := app.Operate(b)
+	if err != nil {
+		return nil, fmt.Errorf("system B: %w", err)
+	}
+	res := &PortAnalysis{App: app, A: opA, B: opB}
+	for _, pair := range balancePairs {
+		num, den := pair[0], pair[1]
+		if _, ok := app.Models[num]; !ok {
+			continue
+		}
+		if _, ok := app.Models[den]; !ok {
+			continue
+		}
+		numA, err := app.Eval(num, opA.P, opA.N)
+		if err != nil {
+			return nil, err
+		}
+		denA, err := app.Eval(den, opA.P, opA.N)
+		if err != nil {
+			return nil, err
+		}
+		numB, err := app.Eval(num, opB.P, opB.N)
+		if err != nil {
+			return nil, err
+		}
+		denB, err := app.Eval(den, opB.P, opB.N)
+		if err != nil {
+			return nil, err
+		}
+		s := RequirementShift{Numerator: num, Denominator: den}
+		s.RatioA = safeDiv(numA, denA)
+		s.RatioB = safeDiv(numB, denB)
+		s.K = safeDiv(s.RatioA, s.RatioB)
+		res.Shifts = append(res.Shifts, s)
+	}
+	return res, nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+// WorstShift returns the shift with the largest K (the resource whose
+// relative load grows most on system B), or ok=false when no shift was
+// computable.
+func (p *PortAnalysis) WorstShift() (RequirementShift, bool) {
+	best := -1
+	for i, s := range p.Shifts {
+		if math.IsNaN(s.K) {
+			continue
+		}
+		if best < 0 || s.K > p.Shifts[best].K {
+			best = i
+		}
+	}
+	if best < 0 {
+		return RequirementShift{}, false
+	}
+	return p.Shifts[best], true
+}

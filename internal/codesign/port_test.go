@@ -1,0 +1,92 @@
+package codesign
+
+import (
+	"math"
+	"testing"
+
+	"extrareq/internal/machine"
+	"extrareq/internal/metrics"
+)
+
+func TestAnalyzePortLULESH(t *testing.T) {
+	// Port LULESH from a small fat-node system to a large thin-node one:
+	// the p^0.25·log p factors in FLOP and comm grow identically, but the
+	// flop-to-comm balance also shifts with the changed n.
+	app := PaperLULESH()
+	a := machine.Skeleton{P: 1 << 12, Mem: 8 << 30}
+	b := machine.Skeleton{P: 1 << 20, Mem: 256 << 20}
+	res, err := AnalyzePort(app, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.A.N <= res.B.N {
+		t.Fatalf("thin nodes should shrink n: %g -> %g", res.A.N, res.B.N)
+	}
+	if len(res.Shifts) != 3 {
+		t.Fatalf("got %d shifts", len(res.Shifts))
+	}
+	// Flop/comm ratio: FLOP ∝ n·log n·f(p), comm ∝ n·f(p), so the ratio is
+	// log(n): smaller n on B means a smaller ratio, K > 1 — communication
+	// pressure grows on the thin-node system.
+	s := res.Shifts[0]
+	if s.Numerator != metrics.Flops || s.Denominator != metrics.CommBytes {
+		t.Fatalf("unexpected pair order: %+v", s)
+	}
+	wantK := math.Log2(res.A.N) / math.Log2(res.B.N)
+	if math.Abs(s.K-wantK)/wantK > 0.01 {
+		t.Errorf("K = %g, want %g (= log nA / log nB)", s.K, wantK)
+	}
+	if s.K <= 1 {
+		t.Errorf("porting to thin nodes should raise comm pressure: K = %g", s.K)
+	}
+}
+
+func TestAnalyzePortIdentitySystems(t *testing.T) {
+	app := PaperKripke()
+	sk := DefaultBaseline()
+	res, err := AnalyzePort(app, sk, sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Shifts {
+		if math.Abs(s.K-1) > 1e-9 {
+			t.Errorf("identical systems must give K = 1, got %g for %s/%s",
+				s.K, s.Numerator, s.Denominator)
+		}
+	}
+}
+
+func TestAnalyzePortDoesNotFit(t *testing.T) {
+	app := PaperIcoFoam()
+	a := DefaultBaseline()
+	b := machine.Skeleton{P: 2e9, Mem: 5e6} // exascale straw-man: no fit
+	if _, err := AnalyzePort(app, a, b); err == nil {
+		t.Fatal("expected error when the app does not fit system B")
+	}
+}
+
+func TestWorstShift(t *testing.T) {
+	app := PaperMILC()
+	a := machine.Skeleton{P: 1 << 10, Mem: 16 << 30}
+	b := machine.Skeleton{P: 1 << 22, Mem: 4 << 20}
+	res, err := AnalyzePort(app, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := res.WorstShift()
+	if !ok {
+		t.Fatal("no worst shift")
+	}
+	// MILC on tiny-memory many-process nodes: the p^1.5 loads term makes
+	// memory access the worst-shifted resource.
+	if w.Denominator != metrics.LoadsStores {
+		t.Errorf("worst shift = %s/%s (K=%g), want loads & stores", w.Numerator, w.Denominator, w.K)
+	}
+	if w.K <= 1 {
+		t.Errorf("K = %g, want > 1", w.K)
+	}
+	empty := &PortAnalysis{}
+	if _, ok := empty.WorstShift(); ok {
+		t.Error("empty analysis should have no worst shift")
+	}
+}

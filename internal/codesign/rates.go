@@ -1,0 +1,125 @@
+package codesign
+
+import (
+	"fmt"
+	"math"
+
+	"extrareq/internal/machine"
+	"extrareq/internal/metrics"
+)
+
+// The paper's Table VII bounds wall time by computation alone and notes
+// (§III-B): "To shift the lower bound closer to more realistic runtimes, we
+// need to take other requirements such as communication into account, which
+// is feasible as long as the system designer can specify the rates at which
+// the hardware can satisfy them." Rates and the Rated* functions implement
+// that extension.
+
+// Rates are per-processor service rates for the non-computation
+// requirements.
+type Rates struct {
+	// NetBandwidth is the injection bandwidth per processor, bytes/s.
+	NetBandwidth float64
+	// MemBandwidth is the memory bandwidth per processor, bytes/s.
+	MemBandwidth float64
+	// BytesPerAccess converts the loads/stores count into memory traffic;
+	// 8 (one double per access) when zero.
+	BytesPerAccess float64
+}
+
+// DefaultRates returns plausible exascale-era per-processor rates relative
+// to a given flop rate: 0.001 network bytes/flop and 0.1 memory bytes/flop
+// (byte-to-flop ratios in the range of recent large systems).
+func DefaultRates(flopsPerProcessor float64) Rates {
+	return Rates{
+		NetBandwidth:   0.001 * flopsPerProcessor,
+		MemBandwidth:   0.1 * flopsPerProcessor,
+		BytesPerAccess: 8,
+	}
+}
+
+// TimeBreakdown is the per-resource service time of one run configuration.
+type TimeBreakdown struct {
+	Compute, Network, Memory float64 // seconds
+}
+
+// LowerBound is the roofline-style bound: the slowest resource assuming
+// perfect overlap of computation, communication, and memory traffic.
+func (t TimeBreakdown) LowerBound() float64 {
+	return math.Max(t.Compute, math.Max(t.Network, t.Memory))
+}
+
+// UpperBound assumes no overlap at all (serial sum).
+func (t TimeBreakdown) UpperBound() float64 { return t.Compute + t.Network + t.Memory }
+
+// Bottleneck names the resource with the largest service time.
+func (t TimeBreakdown) Bottleneck() string {
+	switch {
+	case t.Network >= t.Compute && t.Network >= t.Memory:
+		return "network"
+	case t.Memory >= t.Compute:
+		return "memory"
+	default:
+		return "compute"
+	}
+}
+
+// RatedTime evaluates the per-resource service times of the app at (p, n)
+// on a system with the given per-processor rates.
+func RatedTime(app App, sys machine.System, rates Rates, p, n float64) (TimeBreakdown, error) {
+	var tb TimeBreakdown
+	flop, err := app.Eval(metrics.Flops, p, n)
+	if err != nil {
+		return tb, err
+	}
+	comm, err := app.Eval(metrics.CommBytes, p, n)
+	if err != nil {
+		return tb, err
+	}
+	mem, err := app.Eval(metrics.LoadsStores, p, n)
+	if err != nil {
+		return tb, err
+	}
+	if sys.FlopsPerProcessor <= 0 || rates.NetBandwidth <= 0 || rates.MemBandwidth <= 0 {
+		return tb, fmt.Errorf("codesign: non-positive service rates")
+	}
+	bpa := rates.BytesPerAccess
+	if bpa == 0 {
+		bpa = 8
+	}
+	tb.Compute = flop / sys.FlopsPerProcessor
+	tb.Network = comm / rates.NetBandwidth
+	tb.Memory = mem * bpa / rates.MemBandwidth
+	return tb, nil
+}
+
+// RatedOutcome extends a Table VII cell with the rated bounds.
+type RatedOutcome struct {
+	SystemOutcome
+	Breakdown TimeBreakdown
+}
+
+// RatedExascaleStudy reruns the Table VII benchmark-problem analysis with
+// per-resource rates: for every system the app fits on, it reports the
+// compute/network/memory service times for the common benchmark problem and
+// the overlap/serial bounds.
+func RatedExascaleStudy(app App, systems []machine.System, ratesFor func(machine.System) Rates) ([]RatedOutcome, error) {
+	base, err := ExascaleStudy(app, systems)
+	if err != nil {
+		return nil, err
+	}
+	var out []RatedOutcome
+	for _, o := range base.Outcomes {
+		ro := RatedOutcome{SystemOutcome: o}
+		if o.Fits && base.CommonProblem > 0 {
+			nBench := math.Max(base.CommonProblem/o.System.Processors, 1)
+			tb, err := RatedTime(app, o.System, ratesFor(o.System), o.System.Processors, nBench)
+			if err != nil {
+				return nil, fmt.Errorf("app %s on %s: %w", app.Name, o.System.Name, err)
+			}
+			ro.Breakdown = tb
+		}
+		out = append(out, ro)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package codesign
+
+import (
+	"math"
+	"testing"
+
+	"extrareq/internal/machine"
+	"extrareq/internal/metrics"
+)
+
+func TestRatedTimeBreakdown(t *testing.T) {
+	app := PaperKripke()
+	sys := machine.StrawMen()[0] // massively parallel
+	rates := Rates{NetBandwidth: 1e9, MemBandwidth: 1e11, BytesPerAccess: 8}
+	tb, err := RatedTime(app, sys, rates, sys.Processors, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-computed from the Table II Kripke models at n = 5:
+	// compute = 1e7·5 / 5e8 = 0.1 s
+	// network = 1e4·5 / 1e9  = 5e-5 s
+	// memory  = (1e8·5 + 1e5·5·2e9)·8 / 1e11 ≈ 8·10^4 s
+	if math.Abs(tb.Compute-0.1) > 1e-9 {
+		t.Errorf("compute = %g, want 0.1", tb.Compute)
+	}
+	if math.Abs(tb.Network-5e-5) > 1e-12 {
+		t.Errorf("network = %g, want 5e-5", tb.Network)
+	}
+	if tb.Memory < 7.9e4 || tb.Memory > 8.1e4 {
+		t.Errorf("memory = %g, want ~8e4 (the n·p loads term bites at exascale)", tb.Memory)
+	}
+	if tb.Bottleneck() != "memory" {
+		t.Errorf("bottleneck = %s, want memory", tb.Bottleneck())
+	}
+	if tb.LowerBound() != tb.Memory {
+		t.Errorf("lower bound = %g, want the memory time", tb.LowerBound())
+	}
+	if got := tb.UpperBound(); math.Abs(got-(tb.Compute+tb.Network+tb.Memory)) > 1e-12 {
+		t.Errorf("upper bound = %g", got)
+	}
+}
+
+func TestRatedTimeValidation(t *testing.T) {
+	app := PaperKripke()
+	sys := machine.StrawMen()[0]
+	if _, err := RatedTime(app, sys, Rates{}, 10, 10); err == nil {
+		t.Fatal("zero rates should error")
+	}
+	empty := App{Name: "x", Models: nil}
+	if _, err := RatedTime(empty, sys, DefaultRates(1e9), 10, 10); err == nil {
+		t.Fatal("missing models should error")
+	}
+}
+
+func TestDefaultRates(t *testing.T) {
+	r := DefaultRates(1e10)
+	if r.NetBandwidth != 1e7 || r.MemBandwidth != 1e9 || r.BytesPerAccess != 8 {
+		t.Fatalf("unexpected defaults: %+v", r)
+	}
+}
+
+func TestRatedExascaleStudy(t *testing.T) {
+	out, err := RatedExascaleStudy(PaperMILC(), machine.StrawMen(), func(s machine.System) Rates {
+		return DefaultRates(s.FlopsPerProcessor)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d outcomes", len(out))
+	}
+	for _, o := range out {
+		if !o.Fits {
+			t.Fatalf("MILC must fit on %s", o.System.Name)
+		}
+		// The rated lower bound can never undercut the compute-only bound.
+		if o.Breakdown.LowerBound() < o.WallTime-1e-9 {
+			t.Errorf("%s: rated bound %g below compute-only %g",
+				o.System.Name, o.Breakdown.LowerBound(), o.WallTime)
+		}
+		// MILC's 10^5·p^1.5 loads term dominates everything at exascale
+		// process counts — exactly the "memory access is the only
+		// requirement that can be optimized" finding of §III.
+		if o.Breakdown.Bottleneck() != "memory" {
+			t.Errorf("%s: bottleneck = %s, want memory", o.System.Name, o.Breakdown.Bottleneck())
+		}
+	}
+}
+
+func TestRatedExascaleStudyIcoFoam(t *testing.T) {
+	out, err := RatedExascaleStudy(PaperIcoFoam(), machine.StrawMen(), func(s machine.System) Rates {
+		return DefaultRates(s.FlopsPerProcessor)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range out {
+		if o.Fits {
+			t.Errorf("icoFoam should not fit on %s", o.System.Name)
+		}
+		if o.Breakdown.UpperBound() != 0 {
+			t.Errorf("non-fitting outcome should have zero breakdown")
+		}
+	}
+}
+
+func TestShareSystem(t *testing.T) {
+	sk := machine.Skeleton{P: 1000, Mem: 1e9}
+	apps := []App{PaperKripke(), PaperMILC()}
+	out, err := ShareSystem(apps, sk, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Op.P != 250 || out[1].Op.P != 750 {
+		t.Errorf("partition sizes = %g/%g, want 250/750", out[0].Op.P, out[1].Op.P)
+	}
+	// Per-process memory (and thus n) is unaffected by space sharing.
+	nKripke, err := InflateProblem(PaperKripke().Models[metrics.MemoryBytes], 250, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0].Op.N-nKripke) > 1e-6 {
+		t.Errorf("Kripke n = %g, want %g", out[0].Op.N, nKripke)
+	}
+}
+
+func TestShareSystemValidation(t *testing.T) {
+	sk := machine.Skeleton{P: 100, Mem: 1e9}
+	apps := []App{PaperKripke()}
+	if _, err := ShareSystem(apps, sk, []float64{0.5}); err == nil {
+		t.Error("shares not summing to 1 accepted")
+	}
+	if _, err := ShareSystem(apps, sk, []float64{-1, 2}); err == nil {
+		t.Error("mismatched/negative shares accepted")
+	}
+	if _, err := ShareSystem(nil, sk, nil); err == nil {
+		t.Error("empty app list accepted")
+	}
+}
+
+func TestShareSystemNonFittingSlice(t *testing.T) {
+	// icoFoam on a tiny-memory slice of many processors does not fit.
+	sk := machine.Skeleton{P: 1 << 20, Mem: 1e6}
+	out, err := ShareSystem([]App{PaperIcoFoam(), PaperKripke()}, sk, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Fits {
+		t.Error("icoFoam should not fit its slice")
+	}
+	if !out[1].Fits {
+		t.Error("Kripke should fit its slice")
+	}
+}
+
+func TestBenefitScore(t *testing.T) {
+	outs, err := UpgradeStudy([]App{PaperKripke()}, DefaultBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outs["Kripke"]
+	// Upgrade C is ideal for Kripke (everything doubles): score 1.
+	if s := BenefitScore(o[2]); math.Abs(s-1) > 0.05 {
+		t.Errorf("C benefit = %g, want ~1", s)
+	}
+	// Upgrade A overshoots memory access 2x: score ~0.5.
+	if s := BenefitScore(o[0]); math.Abs(s-0.5) > 0.05 {
+		t.Errorf("A benefit = %g, want ~0.5", s)
+	}
+	best, ok := BestUpgrade(o)
+	if !ok || best.Upgrade.Key != "C" {
+		t.Errorf("best upgrade = %+v, want C", best.Upgrade)
+	}
+	if _, ok := BestUpgrade(nil); ok {
+		t.Error("empty outcomes should report !ok")
+	}
+	if s := BenefitScore(UpgradeOutcome{Fits: false, Upgrade: machine.Upgrades()[0]}); s != 0 {
+		t.Errorf("non-fitting score = %g, want 0", s)
+	}
+}

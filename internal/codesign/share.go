@@ -1,0 +1,56 @@
+package codesign
+
+import (
+	"fmt"
+	"math"
+
+	"extrareq/internal/machine"
+)
+
+// Space-sharing (§II-E): "In principle, our approach can map more than one
+// application on a given system simultaneously. For example, we could
+// assume that a system is shared between two applications in space
+// according to a certain ratio as long as we can derive our model
+// parameters p and n for each of them."
+
+// ShareOutcome is one application's slice of a space-shared system.
+type ShareOutcome struct {
+	App      App
+	Fraction float64
+	// Fits is false when the slice cannot hold the app's minimal problem.
+	Fits bool
+	Op   OperatingPoint
+}
+
+// ShareSystem partitions a system skeleton between applications in space
+// according to fractions (which must be positive and sum to 1 within 1e-9)
+// and determines each application's operating point on its partition.
+// Memory per process is unchanged — sharing splits processors, not the
+// per-processor memory.
+func ShareSystem(apps []App, sk machine.Skeleton, fractions []float64) ([]ShareOutcome, error) {
+	if len(apps) == 0 || len(fractions) != len(apps) {
+		return nil, fmt.Errorf("codesign: %d apps with %d fractions", len(apps), len(fractions))
+	}
+	sum := 0.0
+	for _, f := range fractions {
+		if f <= 0 {
+			return nil, fmt.Errorf("codesign: non-positive share %g", f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("codesign: shares sum to %g, want 1", sum)
+	}
+	out := make([]ShareOutcome, 0, len(apps))
+	for i, app := range apps {
+		slice := machine.Skeleton{P: math.Max(math.Floor(sk.P*fractions[i]), 1), Mem: sk.Mem}
+		o := ShareOutcome{App: app, Fraction: fractions[i]}
+		op, err := app.Operate(slice)
+		if err == nil {
+			o.Fits = true
+			o.Op = op
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,236 @@
+package codesign
+
+import (
+	"fmt"
+	"math"
+
+	"extrareq/internal/machine"
+	"extrareq/internal/metrics"
+)
+
+// UpgradeOutcome captures how an application's configuration and
+// requirements change under one relative system upgrade (one column block
+// of Table V).
+type UpgradeOutcome struct {
+	Upgrade machine.Upgrade
+	// Fits is false when the upgraded system cannot hold even the minimal
+	// problem (n = 1); the ratio fields are NaN in that case.
+	Fits bool
+
+	Before, After OperatingPoint
+
+	// NRatio is n'/n, the per-process problem size ratio.
+	NRatio float64
+	// OverallRatio is (p'·n')/(p·n), the overall problem size ratio.
+	OverallRatio float64
+	// CompRatio, CommRatio, MemAccessRatio are the per-process requirement
+	// ratios for computation (#FLOP), communication (#bytes sent &
+	// received), and memory access (#loads & stores, the paper's primary
+	// memory-access metric for Table V).
+	CompRatio, CommRatio, MemAccessRatio float64
+	// StackRatio is the stack-distance ratio, reported separately because
+	// only MILC's locality changes with scale in the paper's study.
+	StackRatio float64
+}
+
+// EvaluateUpgrade runs the Table IV workflow: determine the old and new
+// operating points and form the requirement ratios.
+func EvaluateUpgrade(app App, base machine.Skeleton, up machine.Upgrade) (UpgradeOutcome, error) {
+	out := UpgradeOutcome{Upgrade: up}
+	before, err := app.Operate(base)
+	if err != nil {
+		return out, fmt.Errorf("baseline operating point: %w", err)
+	}
+	out.Before = before
+
+	after := up.Apply(base)
+	afterOp, err := app.Operate(after)
+	if err != nil {
+		// The upgraded system may genuinely not fit the application
+		// (e.g. icoFoam when doubling sockets at a tight baseline).
+		out.Fits = false
+		nan := math.NaN()
+		out.NRatio, out.OverallRatio = nan, nan
+		out.CompRatio, out.CommRatio, out.MemAccessRatio, out.StackRatio = nan, nan, nan, nan
+		return out, nil
+	}
+	out.Fits = true
+	out.After = afterOp
+	out.NRatio = afterOp.N / before.N
+	out.OverallRatio = afterOp.Overall() / before.Overall()
+
+	ratio := func(m metrics.Metric) (float64, error) {
+		oldV, err := app.Eval(m, before.P, before.N)
+		if err != nil {
+			return math.NaN(), err
+		}
+		newV, err := app.Eval(m, afterOp.P, afterOp.N)
+		if err != nil {
+			return math.NaN(), err
+		}
+		if oldV == 0 {
+			return math.NaN(), nil
+		}
+		return newV / oldV, nil
+	}
+	if out.CompRatio, err = ratio(metrics.Flops); err != nil {
+		return out, err
+	}
+	if out.CommRatio, err = ratio(metrics.CommBytes); err != nil {
+		return out, err
+	}
+	if out.MemAccessRatio, err = ratio(metrics.LoadsStores); err != nil {
+		return out, err
+	}
+	if _, ok := app.Models[metrics.StackDistance]; ok {
+		if out.StackRatio, err = ratio(metrics.StackDistance); err != nil {
+			return out, err
+		}
+	} else {
+		out.StackRatio = math.NaN()
+	}
+	return out, nil
+}
+
+// BenefitScore condenses an upgrade outcome into the paper's qualitative
+// benefit ranking (§III-A): the achieved overall-problem growth relative to
+// the upgrade's ideal (ProcFactor·MemFactor), penalized by how far any
+// per-process requirement overshoots the baseline expectation (which is the
+// memory factor: requirements should scale like the per-process problem
+// size). Staying below the expectation is not rewarded, only overshoot is
+// penalized. Outcomes that do not fit score 0.
+func BenefitScore(o UpgradeOutcome) float64 {
+	if !o.Fits || math.IsNaN(o.OverallRatio) {
+		return 0
+	}
+	ideal := o.Upgrade.ProcFactor * o.Upgrade.MemFactor
+	expect := o.Upgrade.MemFactor
+	overshoot := 1.0
+	for _, r := range []float64{o.CompRatio, o.CommRatio, o.MemAccessRatio} {
+		if math.IsNaN(r) {
+			continue
+		}
+		if v := r / expect; v > overshoot {
+			overshoot = v
+		}
+	}
+	return o.OverallRatio / ideal / overshoot
+}
+
+// BestUpgrade returns the outcome with the highest BenefitScore.
+func BestUpgrade(outcomes []UpgradeOutcome) (UpgradeOutcome, bool) {
+	best := -1
+	for i, o := range outcomes {
+		if best < 0 || BenefitScore(o) > BenefitScore(outcomes[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return UpgradeOutcome{}, false
+	}
+	return outcomes[best], true
+}
+
+// UpgradeStudy evaluates every upgrade of Table III for every app,
+// producing the data behind Table V. The result maps app name → outcomes in
+// Upgrades() order.
+func UpgradeStudy(apps []App, base machine.Skeleton) (map[string][]UpgradeOutcome, error) {
+	out := make(map[string][]UpgradeOutcome, len(apps))
+	for _, app := range apps {
+		for _, up := range machine.Upgrades() {
+			o, err := EvaluateUpgrade(app, base, up)
+			if err != nil {
+				return nil, fmt.Errorf("app %s upgrade %s: %w", app.Name, up.Key, err)
+			}
+			out[app.Name] = append(out[app.Name], o)
+		}
+	}
+	return out, nil
+}
+
+// WalkthroughStep is one row of the Table IV style step-by-step workflow.
+type WalkthroughStep struct {
+	Step        string
+	Description string
+	Old, New    string
+	Ratio       float64 // NaN when the step has no single ratio
+}
+
+// Walkthrough reproduces the Table IV workflow narrative for one app and
+// one upgrade, returning the steps with old/new values and ratios.
+func Walkthrough(app App, base machine.Skeleton, up machine.Upgrade) ([]WalkthroughStep, error) {
+	o, err := EvaluateUpgrade(app, base, up)
+	if err != nil {
+		return nil, err
+	}
+	if !o.Fits {
+		return nil, fmt.Errorf("codesign: %s does not fit after upgrade %s", app.Name, up.Key)
+	}
+	nan := math.NaN()
+	steps := []WalkthroughStep{
+		{
+			Step:        "I",
+			Description: "Requirement models",
+			Old:         describeModels(app),
+			New:         "",
+			Ratio:       nan,
+		},
+		{
+			Step:        "II",
+			Description: "Process count",
+			Old:         fmt.Sprintf("p = %g", base.P),
+			New:         fmt.Sprintf("p' = %g", base.P*up.ProcFactor),
+			Ratio:       up.ProcFactor,
+		},
+		{
+			Step:        "II",
+			Description: "Memory per process",
+			Old:         fmt.Sprintf("m = %g", base.Mem),
+			New:         fmt.Sprintf("m' = %g", base.Mem*up.MemFactor),
+			Ratio:       up.MemFactor,
+		},
+		{
+			Step:        "IV",
+			Description: "Problem size per process",
+			Old:         fmt.Sprintf("n = %g", o.Before.N),
+			New:         fmt.Sprintf("n' = %g", o.After.N),
+			Ratio:       o.NRatio,
+		},
+		{
+			Step:        "IV",
+			Description: "Overall problem size",
+			Old:         fmt.Sprintf("N = %g", o.Before.Overall()),
+			New:         fmt.Sprintf("N' = %g", o.After.Overall()),
+			Ratio:       o.OverallRatio,
+		},
+		{
+			Step:        "V",
+			Description: "#FLOP",
+			Ratio:       o.CompRatio,
+		},
+		{
+			Step:        "V",
+			Description: "#Bytes sent & received",
+			Ratio:       o.CommRatio,
+		},
+		{
+			Step:        "V",
+			Description: "#Loads & stores",
+			Ratio:       o.MemAccessRatio,
+		},
+	}
+	return steps, nil
+}
+
+func describeModels(app App) string {
+	s := ""
+	for _, m := range metrics.All() {
+		if mod, ok := app.Models[m]; ok {
+			if s != "" {
+				s += "; "
+			}
+			s += fmt.Sprintf("%s: %s", m.Display(), mod.Format(pmnfPowerOfTen))
+		}
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+package codesign
+
+import (
+	"extrareq/internal/machine"
+	"extrareq/internal/metrics"
+	"extrareq/internal/pmnf"
+)
+
+// warnSignificance is the minimum fraction a term must contribute to its
+// metric at the reference operating point to be able to raise a warning;
+// this keeps negligible fitted terms from flagging healthy applications.
+const warnSignificance = 0.05
+
+// Warnings reproduces Table II's bottleneck flags (⚠). A metric is flagged
+// when a significant term at the reference operating point exhibits one of
+// the patterns the paper marks:
+//
+//   - Memory footprint: any dependence on the process count p. Per-process
+//     memory that grows with p (icoFoam) eventually prevents the
+//     application from running at all.
+//   - Any other metric: a term in which a super-logarithmic factor of p
+//     (polynomial growth, or a linear collective such as Alltoall) is
+//     multiplied with a non-constant factor of n. Such multiplicative
+//     coupling means the per-process requirement cannot be held constant
+//     while scaling out (Kripke's n·p loads, LULESH's n·log n·p^0.25·log p
+//     FLOP, icoFoam's n^1.5·p^0.5 FLOP, ...).
+func Warnings(app App, ref machine.Skeleton) (map[metrics.Metric]bool, error) {
+	op, err := app.Operate(ref)
+	if err != nil {
+		// Apps that do not even fit the reference skeleton flag everything
+		// that depends on p; evaluate at n = 1 instead.
+		op = OperatingPoint{P: ref.P, N: 1}
+	}
+	out := map[metrics.Metric]bool{}
+	for m, model := range app.Models {
+		if model == nil {
+			continue
+		}
+		total := model.Eval(op.P, op.N)
+		pIdx := model.ParamIndex("p")
+		nIdx := model.ParamIndex("n")
+		if pIdx < 0 {
+			continue
+		}
+		// Memory that grows with p is structurally fatal regardless of its
+		// share at the reference point, so the footprint check uses a much
+		// lower significance threshold (filtering only numeric-noise terms
+		// of fitted models).
+		threshold := warnSignificance
+		if m == metrics.MemoryBytes {
+			threshold = 1e-3
+		}
+		for _, t := range model.Terms {
+			if t.Coeff == 0 {
+				continue
+			}
+			contribution := t.Eval([]float64{op.P, op.N})
+			if total > 0 && contribution/total < threshold {
+				continue
+			}
+			pf := t.Factors[pIdx]
+			var nf pmnf.Factor
+			if nIdx >= 0 {
+				nf = t.Factors[nIdx]
+			}
+			if m == metrics.MemoryBytes {
+				if !pf.IsOne() {
+					out[m] = true
+				}
+				continue
+			}
+			if superLogarithmic(pf) && !nf.IsOne() {
+				out[m] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// superLogarithmic reports whether the factor grows faster than any power
+// of log: polynomial exponents > 0 or linear collectives.
+func superLogarithmic(f pmnf.Factor) bool {
+	poly, _ := f.GrowthKey()
+	return poly > 0
+}
+
+// pmnfPowerOfTen is a convenience alias used by formatting helpers.
+var pmnfPowerOfTen = pmnf.PowerOfTenCoeff

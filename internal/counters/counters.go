@@ -1,0 +1,152 @@
+// Package counters is the PAPI substitute: a per-process set of semantic
+// hardware/software counters (floating-point operations, load and store
+// instructions, bytes injected into and received from the network, and
+// resident memory).
+//
+// The paper relies on "highly reproducible hardware and software counters";
+// here the counts are semantic (incremented by the instrumented proxy
+// applications and the simulated MPI runtime) rather than micro-
+// architectural, which preserves exactly the hardware-independent
+// application-centric quantities the requirements models are built from.
+//
+// A Set is owned by a single simulated process (one goroutine) and is not
+// safe for concurrent use; merging across processes happens after the run.
+package counters
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Event identifies one counter.
+type Event int
+
+// The counter events, matching the requirement metrics of Table I, plus
+// message counts (used by the latency-aware rated bounds).
+const (
+	FLOP      Event = iota // floating-point operations
+	Load                   // load instructions
+	Store                  // store instructions
+	BytesSent              // bytes injected into the network
+	BytesRecv              // bytes received from the network
+	RSS                    // resident memory high-water mark, bytes
+	MsgsSent               // messages injected into the network
+	MsgsRecv               // messages received from the network
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	"flop", "loads", "stores", "bytes_sent", "bytes_recv", "rss_bytes",
+	"msgs_sent", "msgs_recv",
+}
+
+// String returns the canonical snake_case name of the event.
+func (e Event) String() string {
+	if e < 0 || e >= NumEvents {
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+	return eventNames[e]
+}
+
+// EventByName resolves a canonical name back to an Event.
+func EventByName(name string) (Event, bool) {
+	for i, n := range eventNames {
+		if n == name {
+			return Event(i), true
+		}
+	}
+	return 0, false
+}
+
+// Set is a process-local counter set.
+type Set struct {
+	vals [NumEvents]int64
+
+	// Memory footprint tracking: RSS holds the high-water mark of live.
+	live int64
+}
+
+// Add increments event e by v (which may be negative for corrections).
+func (s *Set) Add(e Event, v int64) { s.vals[e] += v }
+
+// Value returns the current value of event e.
+func (s *Set) Value(e Event) int64 { return s.vals[e] }
+
+// AddFlops is shorthand for Add(FLOP, v).
+func (s *Set) AddFlops(v int64) { s.vals[FLOP] += v }
+
+// AddLoads is shorthand for Add(Load, v).
+func (s *Set) AddLoads(v int64) { s.vals[Load] += v }
+
+// AddStores is shorthand for Add(Store, v).
+func (s *Set) AddStores(v int64) { s.vals[Store] += v }
+
+// Alloc records an allocation of b bytes and updates the resident-memory
+// high-water mark, mimicking what getrusage() reports for the process.
+func (s *Set) Alloc(b int64) {
+	s.live += b
+	if s.live > s.vals[RSS] {
+		s.vals[RSS] = s.live
+	}
+}
+
+// Free records the release of b bytes. The RSS high-water mark is sticky,
+// matching ru_maxrss semantics.
+func (s *Set) Free(b int64) {
+	s.live -= b
+	if s.live < 0 {
+		s.live = 0
+	}
+}
+
+// Live returns the currently live (not yet freed) bytes.
+func (s *Set) Live() int64 { return s.live }
+
+// Merge adds every counter of o into s; RSS merges by maximum, because
+// resident memory is a per-process high-water mark rather than a flow.
+func (s *Set) Merge(o *Set) {
+	for e := Event(0); e < NumEvents; e++ {
+		if e == RSS {
+			if o.vals[RSS] > s.vals[RSS] {
+				s.vals[RSS] = o.vals[RSS]
+			}
+			continue
+		}
+		s.vals[e] += o.vals[e]
+	}
+}
+
+// Snapshot returns the counters as a name → value map.
+func (s *Set) Snapshot() map[string]int64 {
+	m := make(map[string]int64, NumEvents)
+	for e := Event(0); e < NumEvents; e++ {
+		m[e.String()] = s.vals[e]
+	}
+	return m
+}
+
+// Reset zeroes all counters and the live-memory tracker.
+func (s *Set) Reset() {
+	s.vals = [NumEvents]int64{}
+	s.live = 0
+}
+
+// MarshalJSON encodes the set as the Snapshot map.
+func (s *Set) MarshalJSON() ([]byte, error) { return json.Marshal(s.Snapshot()) }
+
+// UnmarshalJSON decodes a Snapshot map produced by MarshalJSON. Unknown
+// names are rejected.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var m map[string]int64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	for name, v := range m {
+		e, ok := EventByName(name)
+		if !ok {
+			return fmt.Errorf("counters: unknown counter %q", name)
+		}
+		s.vals[e] = v
+	}
+	return nil
+}

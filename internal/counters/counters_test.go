@@ -1,0 +1,138 @@
+package counters
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndValue(t *testing.T) {
+	var s Set
+	s.AddFlops(100)
+	s.AddLoads(10)
+	s.AddStores(5)
+	s.Add(BytesSent, 64)
+	if s.Value(FLOP) != 100 || s.Value(Load) != 10 || s.Value(Store) != 5 || s.Value(BytesSent) != 64 {
+		t.Fatalf("unexpected values: %v", s.Snapshot())
+	}
+	if s.Value(BytesRecv) != 0 {
+		t.Error("untouched counter should be zero")
+	}
+}
+
+func TestRSSHighWaterMark(t *testing.T) {
+	var s Set
+	s.Alloc(1000)
+	s.Alloc(500)
+	if s.Value(RSS) != 1500 {
+		t.Fatalf("RSS = %d, want 1500", s.Value(RSS))
+	}
+	s.Free(1200)
+	if s.Live() != 300 {
+		t.Fatalf("Live = %d, want 300", s.Live())
+	}
+	if s.Value(RSS) != 1500 {
+		t.Fatal("RSS high-water mark must be sticky after frees")
+	}
+	s.Alloc(100)
+	if s.Value(RSS) != 1500 {
+		t.Fatal("RSS must not move until live exceeds the previous peak")
+	}
+	s.Alloc(2000)
+	if s.Value(RSS) != 2400 {
+		t.Fatalf("RSS = %d, want 2400", s.Value(RSS))
+	}
+}
+
+func TestFreeClampsAtZero(t *testing.T) {
+	var s Set
+	s.Alloc(10)
+	s.Free(100)
+	if s.Live() != 0 {
+		t.Fatalf("Live = %d, want 0 after over-free", s.Live())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Set
+	a.AddFlops(10)
+	a.Alloc(100)
+	b.AddFlops(5)
+	b.Alloc(300)
+	a.Merge(&b)
+	if a.Value(FLOP) != 15 {
+		t.Errorf("merged FLOP = %d, want 15", a.Value(FLOP))
+	}
+	if a.Value(RSS) != 300 {
+		t.Errorf("merged RSS = %d, want max(100,300)=300", a.Value(RSS))
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	for e := Event(0); e < NumEvents; e++ {
+		got, ok := EventByName(e.String())
+		if !ok || got != e {
+			t.Errorf("round-trip failed for %v", e)
+		}
+	}
+	if _, ok := EventByName("bogus"); ok {
+		t.Error("bogus name resolved")
+	}
+	if Event(99).String() != "event(99)" {
+		t.Error("out-of-range event name")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var s Set
+	s.AddFlops(7)
+	s.Add(BytesRecv, 13)
+	s.Alloc(64)
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for e := Event(0); e < NumEvents; e++ {
+		if back.Value(e) != s.Value(e) {
+			t.Errorf("%v: %d != %d", e, back.Value(e), s.Value(e))
+		}
+	}
+	if err := json.Unmarshal([]byte(`{"nope":1}`), &back); err == nil {
+		t.Error("unknown counter name should be rejected")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Set
+	s.AddFlops(1)
+	s.Alloc(10)
+	s.Reset()
+	if s.Value(FLOP) != 0 || s.Value(RSS) != 0 || s.Live() != 0 {
+		t.Fatal("Reset left residue")
+	}
+}
+
+// Property: Merge is commutative for flow counters and RSS.
+func TestMergeCommutative(t *testing.T) {
+	f := func(af, bf, am, bm uint32) bool {
+		var a1, b1, a2, b2 Set
+		a1.AddFlops(int64(af))
+		a1.Alloc(int64(am))
+		b1.AddFlops(int64(bf))
+		b1.Alloc(int64(bm))
+		a2.AddFlops(int64(af))
+		a2.Alloc(int64(am))
+		b2.AddFlops(int64(bf))
+		b2.Alloc(int64(bm))
+		a1.Merge(&b1) // a1 = a+b
+		b2.Merge(&a2) // b2 = b+a
+		return a1.Value(FLOP) == b2.Value(FLOP) && a1.Value(RSS) == b2.Value(RSS)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package extrap
+
+import (
+	"fmt"
+
+	"extrareq/internal/metrics"
+	"extrareq/internal/workload"
+)
+
+// FromCampaign converts a measured campaign into an Extra-P experiment with
+// a single "main" region carrying the five Table I metrics, ready to be fed
+// to the original Extra-P tool.
+func FromCampaign(c *workload.Campaign) (*Experiment, error) {
+	if len(c.Samples) == 0 {
+		return nil, fmt.Errorf("extrap: empty campaign")
+	}
+	e := &Experiment{
+		Parameters: []string{"p", "n"},
+		Data:       map[string]map[string][][]float64{"main": {}},
+	}
+	for _, s := range c.Samples {
+		e.Points = append(e.Points, []float64{float64(s.P), float64(s.N)})
+	}
+	for _, m := range metrics.All() {
+		var series [][]float64
+		for _, s := range c.Samples {
+			v, ok := s.Values[m.String()]
+			if !ok {
+				return nil, fmt.Errorf("extrap: sample p=%d n=%d missing metric %s", s.P, s.N, m)
+			}
+			series = append(series, []float64{v})
+		}
+		e.Data["main"][m.String()] = series
+	}
+	return e, nil
+}
+
+// ToCampaign converts an experiment's "main" region back into a campaign.
+// Repeated measurements collapse into Sample.Values via their mean when the
+// experiment has repeats; campaigns carry one value per metric.
+func ToCampaign(e *Experiment, app string) (*workload.Campaign, error) {
+	if len(e.Parameters) != 2 || e.Parameters[0] != "p" || e.Parameters[1] != "n" {
+		return nil, fmt.Errorf("extrap: campaign conversion needs parameters [p n], have %v", e.Parameters)
+	}
+	region := "main"
+	if _, ok := e.Data[region]; !ok {
+		return nil, fmt.Errorf("extrap: no %q region", region)
+	}
+	c := &workload.Campaign{App: app}
+	for i, pt := range e.Points {
+		s := workload.Sample{
+			P:      int(pt[0]),
+			N:      int(pt[1]),
+			Values: map[string]float64{},
+		}
+		for metric, series := range e.Data[region] {
+			vals := series[i]
+			sum := 0.0
+			for _, v := range vals {
+				sum += v
+			}
+			s.Values[metric] = sum / float64(len(vals))
+		}
+		c.Samples = append(c.Samples, s)
+	}
+	return c, nil
+}

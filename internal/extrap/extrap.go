@@ -1,0 +1,285 @@
+// Package extrap reads and writes the Extra-P text input format, so that
+// measurement sets can be exchanged with the original Extra-P tool the
+// paper builds on (references [5] and [6]).
+//
+// The dialect implemented is the classic multi-parameter text format:
+//
+//	PARAMETER p
+//	PARAMETER n
+//	POINTS (2,128) (2,256) (4,128) (4,256)
+//	REGION main
+//	METRIC flop
+//	DATA 10.2 10.4 10.3
+//	DATA 20.1 20.2 19.9
+//	...
+//
+// Each PARAMETER line declares one model parameter (order matters). POINTS
+// declares the coordinates; for a single parameter, bare values are
+// accepted ("POINTS 2 4 8 16"). Every METRIC section carries one DATA line
+// per point, in POINTS order, holding that point's repeated measurements.
+// Lines starting with '#' and blank lines are ignored. Parsing is tolerant
+// of commas or whitespace inside tuples.
+package extrap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"extrareq/internal/modeling"
+)
+
+// Experiment is a parsed Extra-P text file.
+type Experiment struct {
+	Parameters []string
+	Points     [][]float64 // len(Points[i]) == len(Parameters)
+	// Data maps region -> metric -> one value slice per point.
+	Data map[string]map[string][][]float64
+}
+
+// Measurements converts one (region, metric) series into model-generator
+// input.
+func (e *Experiment) Measurements(region, metric string) ([]modeling.Measurement, error) {
+	r, ok := e.Data[region]
+	if !ok {
+		return nil, fmt.Errorf("extrap: unknown region %q", region)
+	}
+	series, ok := r[metric]
+	if !ok {
+		return nil, fmt.Errorf("extrap: region %q has no metric %q", region, metric)
+	}
+	if len(series) != len(e.Points) {
+		return nil, fmt.Errorf("extrap: metric %q has %d data lines for %d points", metric, len(series), len(e.Points))
+	}
+	out := make([]modeling.Measurement, len(e.Points))
+	for i, pt := range e.Points {
+		out[i] = modeling.Measurement{
+			Coords: append([]float64(nil), pt...),
+			Values: append([]float64(nil), series[i]...),
+		}
+	}
+	return out, nil
+}
+
+// Regions lists the regions in sorted order.
+func (e *Experiment) Regions() []string {
+	var out []string
+	for r := range e.Data {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Metrics lists the metrics of a region in sorted order.
+func (e *Experiment) Metrics(region string) []string {
+	var out []string
+	for m := range e.Data[region] {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Read parses an Extra-P text file.
+func Read(r io.Reader) (*Experiment, error) {
+	e := &Experiment{Data: map[string]map[string][][]float64{}}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	region, metric := "", ""
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		keyword, rest := splitKeyword(line)
+		switch strings.ToUpper(keyword) {
+		case "PARAMETER":
+			for _, name := range strings.Fields(rest) {
+				e.Parameters = append(e.Parameters, name)
+			}
+		case "POINTS":
+			pts, err := parsePoints(rest, len(e.Parameters))
+			if err != nil {
+				return nil, fmt.Errorf("extrap: line %d: %w", lineNo, err)
+			}
+			e.Points = pts
+		case "REGION":
+			region = rest
+			if region == "" {
+				return nil, fmt.Errorf("extrap: line %d: empty REGION", lineNo)
+			}
+			if _, ok := e.Data[region]; !ok {
+				e.Data[region] = map[string][][]float64{}
+			}
+			metric = ""
+		case "METRIC":
+			if region == "" {
+				// Implicit region, mirroring single-region files.
+				region = "main"
+				e.Data[region] = map[string][][]float64{}
+			}
+			metric = rest
+			if metric == "" {
+				return nil, fmt.Errorf("extrap: line %d: empty METRIC", lineNo)
+			}
+		case "DATA":
+			if metric == "" {
+				return nil, fmt.Errorf("extrap: line %d: DATA before METRIC", lineNo)
+			}
+			vals, err := parseFloats(rest)
+			if err != nil {
+				return nil, fmt.Errorf("extrap: line %d: %w", lineNo, err)
+			}
+			if len(vals) == 0 {
+				return nil, fmt.Errorf("extrap: line %d: empty DATA", lineNo)
+			}
+			e.Data[region][metric] = append(e.Data[region][metric], vals)
+		default:
+			return nil, fmt.Errorf("extrap: line %d: unknown keyword %q", lineNo, keyword)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(e.Parameters) == 0 {
+		return nil, fmt.Errorf("extrap: no PARAMETER lines")
+	}
+	if len(e.Points) == 0 {
+		return nil, fmt.Errorf("extrap: no POINTS line")
+	}
+	for region, metrics := range e.Data {
+		for metric, series := range metrics {
+			if len(series) != len(e.Points) {
+				return nil, fmt.Errorf("extrap: region %q metric %q: %d DATA lines for %d points",
+					region, metric, len(series), len(e.Points))
+			}
+		}
+	}
+	return e, nil
+}
+
+// Write serializes an experiment in the text format.
+func Write(w io.Writer, e *Experiment) error {
+	for _, p := range e.Parameters {
+		if _, err := fmt.Fprintf(w, "PARAMETER %s\n", p); err != nil {
+			return err
+		}
+	}
+	var b strings.Builder
+	b.WriteString("POINTS")
+	for _, pt := range e.Points {
+		if len(e.Parameters) == 1 {
+			fmt.Fprintf(&b, " %s", formatFloat(pt[0]))
+			continue
+		}
+		b.WriteString(" (")
+		for i, c := range pt {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(formatFloat(c))
+		}
+		b.WriteString(")")
+	}
+	b.WriteString("\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, region := range e.Regions() {
+		if _, err := fmt.Fprintf(w, "REGION %s\n", region); err != nil {
+			return err
+		}
+		for _, metric := range e.Metrics(region) {
+			if _, err := fmt.Fprintf(w, "METRIC %s\n", metric); err != nil {
+				return err
+			}
+			for _, vals := range e.Data[region][metric] {
+				parts := make([]string, len(vals))
+				for i, v := range vals {
+					parts[i] = formatFloat(v)
+				}
+				if _, err := fmt.Fprintf(w, "DATA %s\n", strings.Join(parts, " ")); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func splitKeyword(line string) (keyword, rest string) {
+	for i := 0; i < len(line); i++ {
+		if line[i] == ' ' || line[i] == '\t' {
+			return line[:i], strings.TrimSpace(line[i+1:])
+		}
+	}
+	return line, ""
+}
+
+// parsePoints parses "(2,128) (4,128)" or bare "2 4 8" for one parameter.
+func parsePoints(s string, nParams int) ([][]float64, error) {
+	if nParams == 0 {
+		return nil, fmt.Errorf("POINTS before PARAMETER")
+	}
+	var out [][]float64
+	if !strings.Contains(s, "(") {
+		if nParams != 1 {
+			return nil, fmt.Errorf("bare POINTS values need exactly one parameter, have %d", nParams)
+		}
+		vals, err := parseFloats(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vals {
+			out = append(out, []float64{v})
+		}
+		return out, nil
+	}
+	rest := s
+	for {
+		open := strings.IndexByte(rest, '(')
+		if open < 0 {
+			break
+		}
+		closeIdx := strings.IndexByte(rest[open:], ')')
+		if closeIdx < 0 {
+			return nil, fmt.Errorf("unbalanced parenthesis in POINTS")
+		}
+		tuple := rest[open+1 : open+closeIdx]
+		vals, err := parseFloats(strings.ReplaceAll(tuple, ",", " "))
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != nParams {
+			return nil, fmt.Errorf("point (%s) has %d coordinates for %d parameters", tuple, len(vals), nParams)
+		}
+		out = append(out, vals)
+		rest = rest[open+closeIdx+1:]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no points parsed from %q", s)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Fields(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,32 @@
+package extrap
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the text parser never panics and that anything it
+// accepts survives a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add(sampleFile)
+	f.Add("PARAMETER x\nPOINTS 1 2 3\nMETRIC m\nDATA 1\nDATA 2\nDATA 3\n")
+	f.Add("PARAMETER p\nPARAMETER n\nPOINTS (1,2)\nREGION r\nMETRIC m\nDATA 0.5 0.25\n")
+	f.Add("# comment only\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		e, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejects are fine; panics are not
+		}
+		var buf strings.Builder
+		if err := Write(&buf, e); err != nil {
+			t.Fatalf("write of accepted experiment failed: %v", err)
+		}
+		back, err := Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip of accepted experiment failed: %v\n%s", err, buf.String())
+		}
+		if len(back.Points) != len(e.Points) {
+			t.Fatalf("points changed in round trip: %d -> %d", len(e.Points), len(back.Points))
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package locality
+
+import "sort"
+
+// Cache-behaviour prediction from stack distances. For a fully associative
+// LRU cache of capacity C blocks, an access hits exactly when its stack
+// distance is smaller than C — the classic property of the LRU stack
+// (Mattson et al.), and the reason the paper captures stack distances: the
+// distance distribution predicts at which cache sizes (equivalently, at
+// which problem sizes for a fixed cache) the miss pressure starts to grow,
+// without knowing the hardware (§II-D).
+//
+// Capacities are in distinct-address units (one unit per traced address;
+// the proxies trace at 8-byte word granularity).
+
+// MissRatio returns the predicted miss ratio of the named instruction group
+// for an LRU cache with the given capacity: the fraction of the group's
+// accesses whose stack distance is >= capacity, counting first touches
+// (cold misses) as misses. ok is false when the group is unknown or was
+// sampled below the analyzer's retention cap, making the estimate
+// unreliable.
+func (a *Analyzer) MissRatio(group string, capacity int64) (ratio float64, ok bool) {
+	g := a.group[group]
+	if g == nil || g.accesses == 0 {
+		return 0, false
+	}
+	if a.MaxSamplesPerGroup != 0 && g.samples > int64(len(g.stack)) {
+		// Retention cap hit: the retained prefix may not be representative.
+		return 0, false
+	}
+	misses := g.firstTouches
+	for _, d := range g.stack {
+		if int64(d) >= capacity {
+			misses++
+		}
+	}
+	return float64(misses) / float64(g.accesses), true
+}
+
+// TotalMissRatio returns the access-weighted miss ratio over all groups.
+func (a *Analyzer) TotalMissRatio(capacity int64) float64 {
+	var misses, accesses int64
+	for name, g := range a.group {
+		r, ok := a.MissRatio(name, capacity)
+		if !ok {
+			continue
+		}
+		misses += int64(r * float64(g.accesses))
+		accesses += g.accesses
+	}
+	if accesses == 0 {
+		return 0
+	}
+	return float64(misses) / float64(accesses)
+}
+
+// MissRatioCurve evaluates TotalMissRatio at each capacity (the miss-ratio
+// curve cache designers read off against candidate cache sizes).
+func (a *Analyzer) MissRatioCurve(capacities []int64) []float64 {
+	out := make([]float64, len(capacities))
+	for i, c := range capacities {
+		out[i] = a.TotalMissRatio(c)
+	}
+	return out
+}
+
+// CriticalCapacity returns the smallest capacity from the candidates at
+// which the total miss ratio drops to at most target, or -1 if none does.
+// Candidates are evaluated in ascending order.
+func (a *Analyzer) CriticalCapacity(candidates []int64, target float64) int64 {
+	sorted := append([]int64(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, c := range sorted {
+		if a.TotalMissRatio(c) <= target {
+			return c
+		}
+	}
+	return -1
+}

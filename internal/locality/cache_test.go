@@ -1,0 +1,126 @@
+package locality
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMissRatioLRUProperty(t *testing.T) {
+	// Cyclic sweep over 8 addresses, 10 rounds: after the cold start every
+	// access has stack distance 7, so a capacity-8 cache always hits and a
+	// capacity-7 cache always misses.
+	an := NewAnalyzer()
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 8; i++ {
+			an.Observe(uint64(i), "sweep")
+		}
+	}
+	hit, ok := an.MissRatio("sweep", 8)
+	if !ok {
+		t.Fatal("miss ratio unavailable")
+	}
+	// Only the 8 cold misses out of 80 accesses.
+	if math.Abs(hit-0.1) > 1e-12 {
+		t.Errorf("capacity-8 miss ratio = %g, want 0.1 (cold only)", hit)
+	}
+	miss, _ := an.MissRatio("sweep", 7)
+	if miss != 1 {
+		t.Errorf("capacity-7 miss ratio = %g, want 1 (LRU thrashing)", miss)
+	}
+}
+
+func TestMissRatioMonotoneInCapacity(t *testing.T) {
+	an := NewAnalyzer()
+	// Mixed-distance workload.
+	for i := 0; i < 5000; i++ {
+		an.Observe(uint64(i%97), "a")
+		an.Observe(uint64(1000+i%13), "a")
+	}
+	caps := []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	curve := an.MissRatioCurve(caps)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+1e-12 {
+			t.Fatalf("miss ratio not monotone: %v", curve)
+		}
+	}
+	if curve[0] != 1 {
+		t.Errorf("capacity-1 miss ratio = %g, want 1", curve[0])
+	}
+	// 110 distinct addresses over 10000 accesses: cold misses are 1.1%.
+	if last := curve[len(curve)-1]; math.Abs(last-0.011) > 1e-3 {
+		t.Errorf("large-capacity miss ratio = %g, want 0.011 (cold only)", last)
+	}
+}
+
+func TestMissRatioUnknownGroup(t *testing.T) {
+	an := NewAnalyzer()
+	if _, ok := an.MissRatio("nope", 8); ok {
+		t.Fatal("unknown group should report !ok")
+	}
+}
+
+func TestMissRatioRespectsRetentionCap(t *testing.T) {
+	an := NewAnalyzer()
+	an.MaxSamplesPerGroup = 4
+	for i := 0; i < 100; i++ {
+		an.Observe(1, "g")
+	}
+	if _, ok := an.MissRatio("g", 8); ok {
+		t.Fatal("capped group should report !ok (unreliable estimate)")
+	}
+}
+
+func TestCriticalCapacity(t *testing.T) {
+	an := NewAnalyzer()
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 32; i++ {
+			an.Observe(uint64(i), "sweep")
+		}
+	}
+	// Needs capacity 32 to hold the working set.
+	got := an.CriticalCapacity([]int64{8, 64, 16, 32}, 0.1)
+	if got != 32 {
+		t.Errorf("critical capacity = %d, want 32", got)
+	}
+	if got := an.CriticalCapacity([]int64{2, 4}, 0.1); got != -1 {
+		t.Errorf("unreachable target should return -1, got %d", got)
+	}
+}
+
+func TestMMMCachePrediction(t *testing.T) {
+	// The §II-D story quantified: with a cache that holds 256 addresses,
+	// the naive kernel's B accesses start missing once n² exceeds the
+	// capacity, while the blocked kernel stays cache-resident.
+	missAt := func(kernel string, n int) float64 {
+		an := NewAnalyzer()
+		a := make([]float64, n*n)
+		b := make([]float64, n*n)
+		c := make([]float64, n*n)
+		if kernel == "naive" {
+			NaiveMMM(a, b, c, n, an)
+		} else {
+			BlockedMMM(a, b, c, n, 4, an)
+		}
+		r, ok := an.MissRatio(GroupB, 256)
+		if !ok {
+			t.Fatalf("miss ratio unavailable for %s n=%d", kernel, n)
+		}
+		return r
+	}
+	naiveSmall, naiveLarge := missAt("naive", 8), missAt("naive", 48)
+	if naiveLarge < 0.9 {
+		t.Errorf("naive n=48 miss ratio = %g, want ~1 (B no longer fits)", naiveLarge)
+	}
+	if naiveSmall > 0.2 {
+		t.Errorf("naive n=8 miss ratio = %g, want small (B fits)", naiveSmall)
+	}
+	// Blocking converts B's miss-per-access into one miss per block reuse:
+	// the classic 1/b miss ratio (0.25 at b = 4), independent of n.
+	blockedLarge := missAt("blocked", 48)
+	if math.Abs(blockedLarge-0.25) > 0.05 {
+		t.Errorf("blocked n=48 miss ratio = %g, want ~1/b = 0.25", blockedLarge)
+	}
+	if blockedLarge > naiveLarge/2 {
+		t.Errorf("blocked (%g) should be far below naive (%g)", blockedLarge, naiveLarge)
+	}
+}

@@ -1,0 +1,38 @@
+package locality
+
+import "testing"
+
+// FuzzAnalyzerMatchesBruteForce cross-checks the Fenwick-based stack
+// distance engine against the O(N·W) reference on fuzzer-generated traces.
+func FuzzAnalyzerMatchesBruteForce(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 2, 3, 1})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{5, 4, 3, 2, 1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 2048 {
+			raw = raw[:2048]
+		}
+		addrs := make([]uint64, len(raw))
+		for i, b := range raw {
+			addrs[i] = uint64(b)
+		}
+		want := bruteDistances(addrs)
+		an := NewAnalyzer()
+		for i, a := range addrs {
+			d, ok := an.Observe(a, "g")
+			if !ok {
+				if want[i].Reuse != -1 {
+					t.Fatalf("access %d: first-touch disagreement", i)
+				}
+				continue
+			}
+			if want[i].Reuse == -1 {
+				t.Fatalf("access %d: brute force says first touch", i)
+			}
+			if d.Reuse != want[i].Reuse || d.Stack != want[i].Stack {
+				t.Fatalf("access %d: got RD=%d SD=%d, want RD=%d SD=%d",
+					i, d.Reuse, d.Stack, want[i].Reuse, want[i].Stack)
+			}
+		}
+	})
+}

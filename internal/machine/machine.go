@@ -1,0 +1,100 @@
+// Package machine models the system side of the co-design loop: system
+// skeletons (the paper's §II-E: a system characterized initially only by
+// the process count and memory it can accommodate), the relative upgrade
+// scenarios of Table III, and the absolute exascale straw-man systems of
+// Table VI.
+package machine
+
+import "fmt"
+
+// System is an absolute system description (Table VI row).
+type System struct {
+	Name string
+	// Nodes is the node count.
+	Nodes float64
+	// Processors is the total number of processors; the paper defines a
+	// processor as "a computational unit designed to run a process".
+	Processors float64
+	// MemPerProcessor is the memory per processor in bytes.
+	MemPerProcessor float64
+	// FlopsPerProcessor is the peak floating-point rate per processor in
+	// flop/s.
+	FlopsPerProcessor float64
+}
+
+// ProcessorsPerNode returns the processor count per node.
+func (s System) ProcessorsPerNode() float64 { return s.Processors / s.Nodes }
+
+// TotalMemory returns the system memory in bytes.
+func (s System) TotalMemory() float64 { return s.Processors * s.MemPerProcessor }
+
+// TotalFlops returns the system peak rate in flop/s.
+func (s System) TotalFlops() float64 { return s.Processors * s.FlopsPerProcessor }
+
+// Skeleton is the paper's system skeleton: the process count and the
+// per-process memory an application would get on the system, following the
+// one-process-per-processor rule of §II-E.
+type Skeleton struct {
+	P   float64 // number of processes
+	Mem float64 // memory per process, bytes
+}
+
+// Skeleton derives the system skeleton.
+func (s System) Skeleton() Skeleton {
+	return Skeleton{P: s.Processors, Mem: s.MemPerProcessor}
+}
+
+// StrawMen returns the three exascale candidate systems of Table VI. Each
+// reaches 1 exaflop/s with 10 PB of total memory divided equally among the
+// processors.
+func StrawMen() []System {
+	return []System{
+		{
+			Name:              "Massively parallel",
+			Nodes:             2e4,
+			Processors:        2e9,
+			MemPerProcessor:   5e6,
+			FlopsPerProcessor: 5e8,
+		},
+		{
+			Name:              "Vector",
+			Nodes:             5e4,
+			Processors:        5e7,
+			MemPerProcessor:   2e8,
+			FlopsPerProcessor: 2e10,
+		},
+		{
+			Name:              "Hybrid",
+			Nodes:             1e4,
+			Processors:        1e8,
+			MemPerProcessor:   1e8,
+			FlopsPerProcessor: 1e10,
+		},
+	}
+}
+
+// Upgrade is a relative system upgrade (Table III): process count scales by
+// ProcFactor and memory per process by MemFactor.
+type Upgrade struct {
+	Key        string  // single-letter key used in the paper ("A", "B", "C")
+	Name       string  // human-readable description
+	ProcFactor float64 // p' = ProcFactor · p
+	MemFactor  float64 // m' = MemFactor · m
+}
+
+// Apply scales a skeleton.
+func (u Upgrade) Apply(s Skeleton) Skeleton {
+	return Skeleton{P: s.P * u.ProcFactor, Mem: s.Mem * u.MemFactor}
+}
+
+// String renders e.g. "A: Double the racks".
+func (u Upgrade) String() string { return fmt.Sprintf("%s: %s", u.Key, u.Name) }
+
+// Upgrades returns the three scenarios of Table III.
+func Upgrades() []Upgrade {
+	return []Upgrade{
+		{Key: "A", Name: "Double the racks", ProcFactor: 2, MemFactor: 1},
+		{Key: "B", Name: "Double the sockets", ProcFactor: 2, MemFactor: 0.5},
+		{Key: "C", Name: "Double the memory", ProcFactor: 1, MemFactor: 2},
+	}
+}

@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStrawMenReachExascale(t *testing.T) {
+	for _, s := range StrawMen() {
+		if got := s.TotalFlops(); got != 1e18 {
+			t.Errorf("%s total flops = %g, want 1e18 (1 exaflop/s)", s.Name, got)
+		}
+		if got := s.TotalMemory(); got != 1e16 {
+			t.Errorf("%s total memory = %g, want 1e16 (10 PB)", s.Name, got)
+		}
+	}
+}
+
+func TestStrawMenProcessorsPerNode(t *testing.T) {
+	// Table VI: 10^5, 10^3, 10^4 processors per node.
+	want := map[string]float64{
+		"Massively parallel": 1e5,
+		"Vector":             1e3,
+		"Hybrid":             1e4,
+	}
+	for _, s := range StrawMen() {
+		if got := s.ProcessorsPerNode(); got != want[s.Name] {
+			t.Errorf("%s processors/node = %g, want %g", s.Name, got, want[s.Name])
+		}
+	}
+}
+
+func TestSkeleton(t *testing.T) {
+	s := System{Name: "x", Nodes: 10, Processors: 100, MemPerProcessor: 1e9, FlopsPerProcessor: 1e9}
+	sk := s.Skeleton()
+	if sk.P != 100 || sk.Mem != 1e9 {
+		t.Fatalf("skeleton = %+v", sk)
+	}
+}
+
+func TestUpgradesMatchTable3(t *testing.T) {
+	ups := Upgrades()
+	if len(ups) != 3 {
+		t.Fatalf("got %d upgrades, want 3", len(ups))
+	}
+	base := Skeleton{P: 1000, Mem: 4e9}
+	cases := map[string]Skeleton{
+		"A": {P: 2000, Mem: 4e9},
+		"B": {P: 2000, Mem: 2e9},
+		"C": {P: 1000, Mem: 8e9},
+	}
+	for _, u := range ups {
+		want := cases[u.Key]
+		got := u.Apply(base)
+		if math.Abs(got.P-want.P) > 1e-9 || math.Abs(got.Mem-want.Mem) > 1e-9 {
+			t.Errorf("%s: got %+v, want %+v", u, got, want)
+		}
+	}
+}
+
+func TestUpgradeString(t *testing.T) {
+	u := Upgrades()[0]
+	if u.String() != "A: Double the racks" {
+		t.Errorf("String = %q", u.String())
+	}
+}

@@ -1,0 +1,115 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts observations falling into half-open buckets
+// [Edges[i], Edges[i+1]), with a final overflow bucket [Edges[last], +inf).
+type Histogram struct {
+	Edges  []float64 // ascending bucket lower bounds; Edges[0] is the global lower bound
+	Counts []int64   // len(Edges) buckets; Counts[i] covers [Edges[i], Edges[i+1])
+	Under  int64     // observations below Edges[0]
+	total  int64
+}
+
+// NewHistogram creates a histogram over the given ascending edges.
+// At least one edge is required.
+func NewHistogram(edges []float64) *Histogram {
+	if len(edges) == 0 {
+		panic("mathx: histogram needs at least one edge")
+	}
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i] > edges[i-1]) {
+			panic(fmt.Sprintf("mathx: histogram edges not ascending at %d", i))
+		}
+	}
+	e := make([]float64, len(edges))
+	copy(e, edges)
+	return &Histogram{Edges: e, Counts: make([]int64, len(edges))}
+}
+
+// Observe adds one observation. NaN observations are counted as underflow.
+func (h *Histogram) Observe(v float64) {
+	h.total++
+	if math.IsNaN(v) || v < h.Edges[0] {
+		h.Under++
+		return
+	}
+	// Binary search for the bucket: last edge <= v.
+	lo, hi := 0, len(h.Edges)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if h.Edges[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	h.Counts[lo]++
+}
+
+// Total returns the number of observations, including underflow.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Fraction returns the fraction of all observations in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// CumulativeFractionBelow returns the fraction of observations strictly
+// below the given edge value (which should be one of the histogram edges;
+// other values are handled by bucket containment).
+func (h *Histogram) CumulativeFractionBelow(edge float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	n := h.Under
+	for i, e := range h.Edges {
+		if i+1 < len(h.Edges) && h.Edges[i+1] <= edge {
+			n += h.Counts[i]
+			continue
+		}
+		if e < edge && (i+1 == len(h.Edges) || h.Edges[i+1] > edge) {
+			// Partial bucket: only counted fully if the bucket ends at or
+			// below the requested edge; otherwise stop.
+			break
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// ASCII renders the histogram as a fixed-width bar chart, one line per
+// bucket, using the provided labels (len must equal len(Edges)).
+func (h *Histogram) ASCII(labels []string, width int) string {
+	if len(labels) != len(h.Edges) {
+		panic("mathx: label count must match bucket count")
+	}
+	if width <= 0 {
+		width = 40
+	}
+	var maxCount int64 = 1
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := int(float64(width) * float64(c) / float64(maxCount))
+		fmt.Fprintf(&b, "%-*s |%-*s| %5.1f%% (%d)\n",
+			labelWidth, labels[i], width, strings.Repeat("#", bar), 100*h.Fraction(i), c)
+	}
+	return b.String()
+}

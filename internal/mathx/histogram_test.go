@@ -1,0 +1,85 @@
+package mathx
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0, 5, 10, 15, 20})
+	for _, v := range []float64{0, 4.9, 5, 12, 19, 20, 100, -1} {
+		h.Observe(v)
+	}
+	want := []int64{3, 1, 2, 0, 2} // [0,5):0,4.9,5? no: 5 goes to [5,10)
+	// Recompute expectations carefully:
+	// 0 -> [0,5); 4.9 -> [0,5); 5 -> [5,10); 12 -> [10,15); 19 -> [15,20);
+	// 20 -> [20,inf); 100 -> [20,inf); -1 -> under.
+	want = []int64{2, 1, 1, 1, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Under != 1 {
+		t.Errorf("underflow = %d, want 1", h.Under)
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d, want 8", h.Total())
+	}
+}
+
+func TestHistogramFractions(t *testing.T) {
+	h := NewHistogram([]float64{0, 10})
+	for i := 0; i < 8; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 2; i++ {
+		h.Observe(15)
+	}
+	if got := h.Fraction(0); got != 0.8 {
+		t.Errorf("Fraction(0) = %g, want 0.8", got)
+	}
+	if got := h.CumulativeFractionBelow(10); got != 0.8 {
+		t.Errorf("CumulativeFractionBelow(10) = %g, want 0.8", got)
+	}
+}
+
+func TestHistogramASCII(t *testing.T) {
+	h := NewHistogram([]float64{0, 1})
+	h.Observe(0.5)
+	h.Observe(0.6)
+	h.Observe(2)
+	out := h.ASCII([]string{"<1", ">=1"}, 10)
+	if !strings.Contains(out, "<1") || !strings.Contains(out, "66.7%") {
+		t.Errorf("unexpected ASCII output:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimRight(out, "\n"), "\n")) != 2 {
+		t.Error("expected one line per bucket")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty edges", func() { NewHistogram(nil) })
+	mustPanic("descending edges", func() { NewHistogram([]float64{1, 0}) })
+	mustPanic("label mismatch", func() {
+		NewHistogram([]float64{0, 1}).ASCII([]string{"a"}, 10)
+	})
+}
+
+func TestHistogramNaNGoesToUnder(t *testing.T) {
+	h := NewHistogram([]float64{0})
+	h.Observe(nan())
+	if h.Under != 1 {
+		t.Fatal("NaN should count as underflow")
+	}
+}
+
+func nan() float64 { var z float64; return z / z }

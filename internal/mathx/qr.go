@@ -1,0 +1,153 @@
+// Package mathx provides the small numerical core used by the modeling
+// pipeline: dense Householder-QR least squares, numerically stable
+// summation, order statistics, and histogram utilities.
+//
+// The package is deliberately self-contained (stdlib only) and tuned for the
+// small, dense problems that occur when fitting performance model normal
+// form hypotheses: design matrices with tens to hundreds of rows and fewer
+// than ten columns.
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrRankDeficient is returned by LeastSquares when the design matrix does
+// not have full column rank (within a numerical tolerance).
+var ErrRankDeficient = errors.New("mathx: design matrix is rank deficient")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mathx: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// LeastSquares solves min_x ||A x - b||_2 for an overdetermined system using
+// Householder QR factorization with column-norm based rank detection.
+// A has shape m×k with m >= k; b has length m. The returned slice has
+// length k. A and b are not modified.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	m, k := a.Rows, a.Cols
+	if len(b) != m {
+		return nil, fmt.Errorf("mathx: rhs length %d does not match %d rows", len(b), m)
+	}
+	if m < k {
+		return nil, fmt.Errorf("mathx: underdetermined system %dx%d", m, k)
+	}
+	if k == 0 {
+		return nil, errors.New("mathx: zero-column design matrix")
+	}
+
+	r := a.Clone()
+	y := make([]float64, m)
+	copy(y, b)
+
+	// Scale tolerance to the magnitude of the matrix.
+	maxAbs := 0.0
+	for _, v := range r.Data {
+		if av := math.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	if maxAbs == 0 {
+		return nil, ErrRankDeficient
+	}
+	tol := 1e-12 * maxAbs * float64(m)
+
+	for j := 0; j < k; j++ {
+		// Householder reflection to zero column j below the diagonal.
+		norm := 0.0
+		for i := j; i < m; i++ {
+			norm = math.Hypot(norm, r.At(i, j))
+		}
+		if norm <= tol {
+			return nil, ErrRankDeficient
+		}
+		if r.At(j, j) > 0 {
+			norm = -norm
+		}
+		// v = x - norm*e1, stored in-place in column j temporarily.
+		v := make([]float64, m-j)
+		for i := j; i < m; i++ {
+			v[i-j] = r.At(i, j)
+		}
+		v[0] -= norm
+		vnorm2 := 0.0
+		for _, vi := range v {
+			vnorm2 += vi * vi
+		}
+		if vnorm2 == 0 {
+			return nil, ErrRankDeficient
+		}
+		// Apply H = I - 2 v v^T / (v^T v) to the trailing columns of R and to y.
+		for c := j; c < k; c++ {
+			dot := 0.0
+			for i := j; i < m; i++ {
+				dot += v[i-j] * r.At(i, c)
+			}
+			f := 2 * dot / vnorm2
+			for i := j; i < m; i++ {
+				r.Set(i, c, r.At(i, c)-f*v[i-j])
+			}
+		}
+		dot := 0.0
+		for i := j; i < m; i++ {
+			dot += v[i-j] * y[i]
+		}
+		f := 2 * dot / vnorm2
+		for i := j; i < m; i++ {
+			y[i] -= f * v[i-j]
+		}
+	}
+
+	// Back substitution on the upper-triangular k×k block.
+	x := make([]float64, k)
+	for j := k - 1; j >= 0; j-- {
+		s := y[j]
+		for c := j + 1; c < k; c++ {
+			s -= r.At(j, c) * x[c]
+		}
+		d := r.At(j, j)
+		if math.Abs(d) <= tol {
+			return nil, ErrRankDeficient
+		}
+		x[j] = s / d
+	}
+	return x, nil
+}
+
+// Residuals returns b - A x.
+func Residuals(a *Matrix, b, x []float64) []float64 {
+	res := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		s := NewKahan()
+		for j := 0; j < a.Cols; j++ {
+			s.Add(a.At(i, j) * x[j])
+		}
+		res[i] = b[i] - s.Sum()
+	}
+	return res
+}

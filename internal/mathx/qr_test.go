@@ -1,0 +1,141 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeastSquaresExactLine(t *testing.T) {
+	// y = 3 + 2x fit exactly.
+	xs := []float64{1, 2, 3, 4, 5}
+	a := NewMatrix(len(xs), 2)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 3 + 2*x
+	}
+	coef, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !AlmostEqual(coef[0], 3, 1e-10) || !AlmostEqual(coef[1], 2, 1e-10) {
+		t.Fatalf("got coefficients %v, want [3 2]", coef)
+	}
+}
+
+func TestLeastSquaresOverdeterminedNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// y = 10 + 5x + 0.5x^2 with symmetric noise; the fit must land close.
+	n := 200
+	a := NewMatrix(n, 3)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(i%20) + 1
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		a.Set(i, 2, x*x)
+		b[i] = 10 + 5*x + 0.5*x*x + rng.NormFloat64()*0.01
+	}
+	coef, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	want := []float64{10, 5, 0.5}
+	for j, w := range want {
+		if math.Abs(coef[j]-w) > 0.05 {
+			t.Errorf("coef[%d] = %g, want about %g", j, coef[j], w)
+		}
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	// Two identical columns.
+	a := NewMatrix(4, 2)
+	b := []float64{1, 2, 3, 4}
+	for i := 0; i < 4; i++ {
+		a.Set(i, 0, float64(i+1))
+		a.Set(i, 1, float64(i+1))
+	}
+	if _, err := LeastSquares(a, b); err == nil {
+		t.Fatal("expected rank-deficiency error, got nil")
+	}
+}
+
+func TestLeastSquaresZeroMatrix(t *testing.T) {
+	a := NewMatrix(3, 1)
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error for all-zero design matrix")
+	}
+}
+
+func TestLeastSquaresShapeErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := LeastSquares(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for underdetermined system")
+	}
+	a2 := NewMatrix(3, 1)
+	if _, err := LeastSquares(a2, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for mismatched rhs length")
+	}
+}
+
+// Property: for any polynomial with bounded random coefficients evaluated on
+// distinct points, LeastSquares recovers the coefficients.
+func TestLeastSquaresRecoversPolynomial(t *testing.T) {
+	f := func(c0, c1, c2 int16) bool {
+		w := []float64{float64(c0) / 8, float64(c1) / 8, float64(c2) / 8}
+		a := NewMatrix(12, 3)
+		b := make([]float64, 12)
+		for i := 0; i < 12; i++ {
+			x := float64(i) + 1
+			a.Set(i, 0, 1)
+			a.Set(i, 1, x)
+			a.Set(i, 2, x*x)
+			b[i] = w[0] + w[1]*x + w[2]*x*x
+		}
+		got, err := LeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		for j := range w {
+			if math.Abs(got[j]-w[j]) > 1e-6*(1+math.Abs(w[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	a := NewMatrix(3, 2)
+	for i := 0; i < 3; i++ {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, float64(i))
+	}
+	b := []float64{1, 3, 5}
+	res := Residuals(a, b, []float64{1, 2})
+	for i, r := range res {
+		if math.Abs(r) > 1e-12 {
+			t.Errorf("residual[%d] = %g, want 0", i, r)
+		}
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 {
+		t.Fatalf("At(1,2) = %g, want 42", m.At(1, 2))
+	}
+	c := m.Clone()
+	c.Set(1, 2, 7)
+	if m.At(1, 2) != 42 {
+		t.Fatal("Clone aliases the original data")
+	}
+}

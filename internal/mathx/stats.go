@@ -1,0 +1,140 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Kahan is a compensated (Kahan–Babuška) summation accumulator.
+// The zero value is ready to use.
+type Kahan struct {
+	sum, c float64
+}
+
+// NewKahan returns a fresh accumulator.
+func NewKahan() *Kahan { return &Kahan{} }
+
+// Add accumulates v.
+func (k *Kahan) Add(v float64) {
+	t := k.sum + v
+	if math.Abs(k.sum) >= math.Abs(v) {
+		k.c += (k.sum - t) + v
+	} else {
+		k.c += (v - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *Kahan) Sum() float64 { return k.sum + k.c }
+
+// Sum returns the compensated sum of xs.
+func Sum(xs []float64) float64 {
+	k := NewKahan()
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum()
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs, or NaN when fewer
+// than two samples are available.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	k := NewKahan()
+	for _, x := range xs {
+		d := x - m
+		k.Add(d * d)
+	}
+	return k.Sum() / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs, or NaN for an empty slice.
+// xs is not modified.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MinMax returns the minimum and maximum of xs. It returns (NaN, NaN) for an
+// empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Log2 returns log base 2 of x. It is a tiny wrapper kept for call-site
+// clarity in model code, matching the paper's log_2 convention.
+func Log2(x float64) float64 { return math.Log2(x) }
+
+// NearestPowerOfTen rounds a positive value to the nearest power of ten,
+// matching the paper's presentation of Table II coefficients
+// ("rounded to the nearest power of ten"). It returns 0 for v == 0 and NaN
+// for negative or non-finite input.
+func NearestPowerOfTen(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return math.NaN()
+	}
+	return math.Pow(10, math.Round(math.Log10(v)))
+}
+
+// AlmostEqual reports whether a and b agree to within the given relative
+// tolerance (or absolute tolerance near zero).
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return d <= tol
+	}
+	return d <= tol*scale
+}

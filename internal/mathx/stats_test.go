@@ -1,0 +1,157 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedianBasics(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+	if got := Median(xs); got != 2.5 {
+		t.Errorf("Median = %g, want 2.5", got)
+	}
+	if got := Median([]float64{5, 1, 9}); got != 5 {
+		t.Errorf("odd Median = %g, want 5", got)
+	}
+}
+
+func TestEmptyInputsAreNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Fatal("expected NaN for empty inputs")
+	}
+	lo, hi := MinMax(nil)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatal("expected NaN MinMax for empty input")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !AlmostEqual(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); !AlmostEqual(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %g", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Error("out-of-range quantile should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element quantile = %g, want 7", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestKahanSumPrecision(t *testing.T) {
+	// 1 + 1e-16 added 1e6 times loses the small term with naive summation.
+	k := NewKahan()
+	k.Add(1)
+	for i := 0; i < 1000000; i++ {
+		k.Add(1e-16)
+	}
+	got := k.Sum()
+	want := 1 + 1e-10
+	if math.Abs(got-want) > 1e-13 {
+		t.Errorf("Kahan sum = %.18g, want %.18g", got, want)
+	}
+}
+
+func TestNearestPowerOfTen(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1, 1}, {3, 1}, {3.17, 10}, {9.9e4, 1e5}, {1.2e7, 1e7}, {0, 0},
+		{4.9e-3, 1e-2},
+	}
+	for _, c := range cases {
+		if got := NearestPowerOfTen(c.in); got != c.want {
+			t.Errorf("NearestPowerOfTen(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(NearestPowerOfTen(-5)) {
+		t.Error("negative input should be NaN")
+	}
+}
+
+// Property: median is between min and max and equals the middle order
+// statistic for odd-length inputs.
+func TestMedianProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Median(xs)
+		lo, hi := MinMax(xs)
+		if m < lo || m > hi {
+			return false
+		}
+		if len(xs)%2 == 1 {
+			s := append([]float64(nil), xs...)
+			sort.Float64s(s)
+			return m == s[len(s)/2]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mean of shifted data equals shifted mean.
+func TestMeanShiftInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		shift := rng.Float64() * 100
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			ys[i] = xs[i] + shift
+		}
+		if !AlmostEqual(Mean(ys), Mean(xs)+shift, 1e-9) {
+			t.Fatalf("shift invariance violated: %g vs %g", Mean(ys), Mean(xs)+shift)
+		}
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1e12, 1e12+1, 1e-9) {
+		t.Error("relative comparison failed for large values")
+	}
+	if AlmostEqual(1.0, 1.1, 1e-3) {
+		t.Error("clearly different values reported equal")
+	}
+	if !AlmostEqual(0, 1e-12, 1e-9) {
+		t.Error("absolute comparison failed near zero")
+	}
+}

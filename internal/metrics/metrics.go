@@ -1,0 +1,76 @@
+// Package metrics defines the application-centric requirement metrics of
+// Table I: hardware-independent quantities measured at the interface
+// between hardware and software, each a function r(p, n) of the number of
+// processes p and the per-process problem size n.
+package metrics
+
+import "fmt"
+
+// Metric identifies one requirement metric.
+type Metric int
+
+// The requirement metrics of Table I.
+const (
+	// MemoryBytes is the per-process resident memory footprint in bytes
+	// (paper: "#Bytes used", measured via getrusage).
+	MemoryBytes Metric = iota
+	// Flops is the number of floating-point operations per process.
+	Flops
+	// CommBytes is the number of bytes sent and received over the network
+	// per process.
+	CommBytes
+	// LoadsStores is the number of load and store instructions per process.
+	LoadsStores
+	// StackDistance is the median stack distance of memory accesses
+	// (memory access locality).
+	StackDistance
+	NumMetrics
+)
+
+// names are the canonical identifiers used in files and on the CLI.
+var names = [NumMetrics]string{
+	"bytes_used", "flop", "bytes_sent_recv", "loads_stores", "stack_distance",
+}
+
+// displayNames match the paper's Table II row labels.
+var displayNames = [NumMetrics]string{
+	"#Bytes used", "#FLOP", "#Bytes sent & received", "#Loads & stores", "Stack distance",
+}
+
+// resources are the Table I resource classes.
+var resources = [NumMetrics]string{
+	"Memory footprint", "Computation", "Network communication", "Memory access", "Memory access",
+}
+
+// String returns the canonical snake_case name.
+func (m Metric) String() string {
+	if m < 0 || m >= NumMetrics {
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+	return names[m]
+}
+
+// Display returns the paper's Table II row label.
+func (m Metric) Display() string { return displayNames[m] }
+
+// Resource returns the Table I resource class the metric characterizes.
+func (m Metric) Resource() string { return resources[m] }
+
+// ByName resolves a canonical name.
+func ByName(name string) (Metric, bool) {
+	for i, n := range names {
+		if n == name {
+			return Metric(i), true
+		}
+	}
+	return 0, false
+}
+
+// All returns every metric in Table I order.
+func All() []Metric {
+	out := make([]Metric, NumMetrics)
+	for i := range out {
+		out[i] = Metric(i)
+	}
+	return out
+}

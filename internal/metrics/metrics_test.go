@@ -1,0 +1,38 @@
+package metrics
+
+import "testing"
+
+func TestNamesRoundTrip(t *testing.T) {
+	for _, m := range All() {
+		got, ok := ByName(m.String())
+		if !ok || got != m {
+			t.Errorf("round trip failed for %v", m)
+		}
+		if m.Display() == "" || m.Resource() == "" {
+			t.Errorf("%v missing display/resource", m)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown name resolved")
+	}
+	if Metric(99).String() != "metric(99)" {
+		t.Error("out-of-range name")
+	}
+}
+
+func TestAllCount(t *testing.T) {
+	if len(All()) != int(NumMetrics) || NumMetrics != 5 {
+		t.Fatalf("expected the 5 Table I metrics, got %d", NumMetrics)
+	}
+}
+
+func TestResourceClasses(t *testing.T) {
+	// Table I: loads/stores and stack distance both characterize memory
+	// access.
+	if LoadsStores.Resource() != StackDistance.Resource() {
+		t.Error("loads/stores and stack distance should share the memory-access resource")
+	}
+	if MemoryBytes.Resource() != "Memory footprint" {
+		t.Errorf("MemoryBytes resource = %q", MemoryBytes.Resource())
+	}
+}

@@ -1,0 +1,118 @@
+package modeling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"extrareq/internal/mathx"
+	"extrareq/internal/pmnf"
+)
+
+// Bootstrap prediction intervals. Requirements models are used for
+// extrapolations far outside the measured range (the whole point of the
+// paper), so a designer needs to know how much the fitted coefficients —
+// and hence the projections — wobble under the measurement noise. The
+// interval resamples the measurements with replacement, refits the winning
+// hypothesis *shape* (the term structure is kept fixed; re-running the full
+// shape search per resample would mix model-selection variance into the
+// coefficient variance), and reports percentile bounds of the prediction.
+//
+// Limitation: the interval is conditional on the selected shape. When noise
+// makes the shape itself ambiguous (e.g. x vs x^1.125 over a narrow range),
+// the interval quantifies coefficient noise but not shape-selection error,
+// so coverage degrades with the extrapolation distance. Treat wide measured
+// ranges, not wide intervals, as the cure.
+
+// Interval is a two-sided prediction interval.
+type Interval struct {
+	Lo, Hi float64
+	// Point is the original model's prediction.
+	Point float64
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether v lies in [Lo, Hi].
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// defaultResamples is the bootstrap sample count.
+const defaultResamples = 200
+
+// PredictionInterval computes a conf-level (e.g. 0.95) bootstrap interval
+// for the model's prediction at x, using the measurements the model was
+// fitted from. resamples <= 0 selects the default (200).
+func PredictionInterval(info *ModelInfo, ms []Measurement, x []float64, conf float64, resamples int, seed int64) (Interval, error) {
+	if info == nil || info.Model == nil {
+		return Interval{}, fmt.Errorf("modeling: nil model")
+	}
+	if conf <= 0 || conf >= 1 {
+		return Interval{}, fmt.Errorf("modeling: confidence %g out of (0,1)", conf)
+	}
+	if resamples <= 0 {
+		resamples = defaultResamples
+	}
+	pts := aggregate(ms, Measurement.Mean)
+	if len(pts) < 3 {
+		return Interval{}, fmt.Errorf("modeling: %d points are too few for a bootstrap", len(pts))
+	}
+	params := info.Model.Params
+	if len(x) != len(params) {
+		return Interval{}, fmt.Errorf("modeling: point arity %d for model over %v", len(x), params)
+	}
+	shape := shapeOf(info.Model)
+	pointEst := info.Model.Eval(x...)
+
+	// A constant model bootstraps the mean directly.
+	rng := rand.New(rand.NewSource(seed))
+	preds := make([]float64, 0, resamples)
+	for r := 0; r < resamples; r++ {
+		resampled := make([]point, len(pts))
+		for i := range resampled {
+			resampled[i] = pts[rng.Intn(len(pts))]
+		}
+		var pred float64
+		if len(shape) == 0 {
+			ys := make([]float64, len(resampled))
+			for i, pt := range resampled {
+				ys[i] = pt.y
+			}
+			pred = mathx.Mean(ys)
+		} else {
+			m, err := fitHypothesis(params, hypothesis{factors: shape}, resampled, true)
+			if err != nil {
+				continue // degenerate resample (e.g. duplicate rows)
+			}
+			pred = m.Eval(x...)
+		}
+		if !math.IsNaN(pred) && !math.IsInf(pred, 0) {
+			preds = append(preds, pred)
+		}
+	}
+	if len(preds) < resamples/4 {
+		return Interval{}, fmt.Errorf("modeling: only %d/%d bootstrap refits succeeded", len(preds), resamples)
+	}
+	sort.Float64s(preds)
+	alpha := (1 - conf) / 2
+	lo := preds[int(alpha*float64(len(preds)))]
+	hiIdx := int((1 - alpha) * float64(len(preds)))
+	if hiIdx >= len(preds) {
+		hiIdx = len(preds) - 1
+	}
+	hi := preds[hiIdx]
+	return Interval{Lo: lo, Hi: hi, Point: pointEst}, nil
+}
+
+// shapeOf extracts the non-constant term shapes of a model.
+func shapeOf(m *pmnf.Model) [][]pmnf.Factor {
+	var out [][]pmnf.Factor
+	for _, t := range m.Terms {
+		if t.IsConstant() || t.Coeff == 0 {
+			continue
+		}
+		out = append(out, append([]pmnf.Factor(nil), t.Factors...))
+	}
+	return out
+}

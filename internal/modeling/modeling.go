@@ -1,0 +1,267 @@
+// Package modeling implements the empirical performance-model generator the
+// paper builds on (Extra-P, refs [5] and [6]): given measurements of a
+// metric at several configurations of each model parameter, it searches the
+// performance model normal form hypothesis space (package pmnf), fits
+// coefficients with least squares, and selects the winning hypothesis by
+// leave-one-out cross-validated SMAPE.
+//
+// Single-parameter models are found by iterative term addition: start from
+// the constant model, add the best single term, and keep adding terms while
+// cross-validation shows significant improvement (paper §II-C). For
+// multi-parameter models, the single-parameter models found for each
+// parameter are combined additively and multiplicatively according to the
+// expanded performance model normal form (Equation 2) and the best
+// combination is selected, again by cross-validation.
+package modeling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"extrareq/internal/mathx"
+	"extrareq/internal/pmnf"
+	"extrareq/internal/stats"
+)
+
+// Options control the hypothesis space and the selection procedure.
+// The zero value is not useful; use DefaultOptions.
+type Options struct {
+	// PolyExponents and LogExponents define the poly-log hypothesis space.
+	PolyExponents []float64
+	LogExponents  []float64
+	// Collectives adds Allreduce/Bcast/Alltoall/Allgather basis functions to
+	// the hypothesis space of the named parameters (typically "p" for
+	// communication metrics).
+	Collectives map[string]bool
+	// MaxTerms bounds the number of non-constant terms per single-parameter
+	// model (the paper uses small n; default 2).
+	MaxTerms int
+	// Improvement is the minimal relative cross-validation improvement
+	// required to accept an additional term (default 0.05).
+	Improvement float64
+	// AllowNegative permits negative term coefficients. Requirements metrics
+	// are nonnegative growing counts, so the default is false, which
+	// discards hypotheses with negative fitted term coefficients.
+	AllowNegative bool
+	// NoiseFloor is a cross-validated SMAPE level (percent) below which the
+	// constant model is accepted without searching for growth terms: data
+	// that the mean already explains to within the measurement noise must
+	// not be modeled as growth (Extra-P's noise guard). Default 3.
+	NoiseFloor float64
+	// MinPoints is the minimal number of distinct coordinates per parameter
+	// (the paper's rule of thumb is 5). Fits with fewer points return
+	// ErrTooFewPoints unless MinPoints is lowered explicitly.
+	MinPoints int
+}
+
+// DefaultOptions returns the options used throughout the paper's evaluation.
+func DefaultOptions() *Options {
+	return &Options{
+		PolyExponents: pmnf.DefaultPolyExponents(),
+		LogExponents:  pmnf.DefaultLogExponents(),
+		Collectives:   map[string]bool{},
+		MaxTerms:      2,
+		Improvement:   0.05,
+		NoiseFloor:    3,
+		MinPoints:     5,
+	}
+}
+
+// ErrTooFewPoints indicates that a fit was attempted with fewer distinct
+// measurement coordinates than Options.MinPoints.
+var ErrTooFewPoints = errors.New("modeling: too few distinct measurement points")
+
+// Measurement is one measured configuration: a coordinate per model
+// parameter, and one or more repeated observations of the metric.
+type Measurement struct {
+	Coords []float64 `json:"coords"`
+	Values []float64 `json:"values"`
+}
+
+// Mean returns the mean of the repeated observations.
+func (m Measurement) Mean() float64 { return mathx.Mean(m.Values) }
+
+// Median returns the median of the repeated observations. The paper models
+// the median for the locality metric (§II-B).
+func (m Measurement) Median() float64 { return mathx.Median(m.Values) }
+
+// ModelInfo is a fitted model together with its quality statistics.
+type ModelInfo struct {
+	Model *pmnf.Model
+	// CVScore is the leave-one-out cross-validated SMAPE (percent) of the
+	// winning hypothesis.
+	CVScore float64
+	// SMAPE is the in-sample SMAPE (percent).
+	SMAPE float64
+	// RSquared is the in-sample coefficient of determination.
+	RSquared float64
+	// RelErrors holds the per-measurement relative errors (fractions) of
+	// the final model on its input data; this feeds the paper's Figure 3.
+	RelErrors []float64
+}
+
+// hypothesis is a model shape whose coefficients are to be fitted: a list of
+// per-parameter factor tuples (one factor per parameter per term).
+type hypothesis struct {
+	factors [][]pmnf.Factor // terms × params
+}
+
+// fitHypothesis fits constant + term coefficients by least squares and
+// returns the resulting model. It returns an error when the design matrix is
+// rank deficient or coefficients violate the sign constraint.
+func fitHypothesis(params []string, h hypothesis, pts []point, allowNegative bool) (*pmnf.Model, error) {
+	rows := len(pts)
+	cols := 1 + len(h.factors)
+	if rows < cols {
+		return nil, fmt.Errorf("modeling: %d points cannot determine %d coefficients", rows, cols)
+	}
+	a := mathx.NewMatrix(rows, cols)
+	b := make([]float64, rows)
+	for i, pt := range pts {
+		a.Set(i, 0, 1)
+		for k, term := range h.factors {
+			v := 1.0
+			for l, f := range term {
+				v *= f.Eval(pt.x[l])
+			}
+			a.Set(i, 1+k, v)
+		}
+		b[i] = pt.y
+	}
+	coef, err := mathx.LeastSquares(a, b)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, errors.New("modeling: non-finite coefficient")
+		}
+	}
+	if !allowNegative {
+		for k := 1; k < len(coef); k++ {
+			if coef[k] < 0 {
+				return nil, errors.New("modeling: negative term coefficient")
+			}
+		}
+	}
+	m := &pmnf.Model{Params: append([]string(nil), params...), Constant: coef[0]}
+	for k, term := range h.factors {
+		m.AddTerm(pmnf.Term{Coeff: coef[1+k], Factors: append([]pmnf.Factor(nil), term...)})
+	}
+	return m, nil
+}
+
+// point is an aggregated sample: one coordinate vector, one value.
+type point struct {
+	x []float64
+	y float64
+}
+
+// aggregate flattens measurements into one point per coordinate using the
+// supplied aggregator (mean for most metrics, median for locality).
+func aggregate(ms []Measurement, agg func(Measurement) float64) []point {
+	pts := make([]point, 0, len(ms))
+	for _, m := range ms {
+		if len(m.Values) == 0 {
+			continue
+		}
+		pts = append(pts, point{x: append([]float64(nil), m.Coords...), y: agg(m)})
+	}
+	return pts
+}
+
+// cvScore computes the leave-one-out SMAPE of a hypothesis shape over pts.
+func cvScore(params []string, h hypothesis, pts []point, allowNegative bool) (float64, error) {
+	samples := make([]stats.Sample, len(pts))
+	for i, pt := range pts {
+		samples[i] = stats.Sample{X: pt.x, Y: pt.y}
+	}
+	fit := func(train []stats.Sample) (stats.Predictor, error) {
+		tp := make([]point, len(train))
+		for i, s := range train {
+			tp[i] = point{x: s.X, y: s.Y}
+		}
+		m, err := fitHypothesis(params, h, tp, allowNegative)
+		if err != nil {
+			return nil, err
+		}
+		return func(x []float64) float64 { return m.Eval(x...) }, nil
+	}
+	return stats.LeaveOneOutSMAPE(samples, fit)
+}
+
+// constantCV computes the leave-one-out SMAPE of the constant (mean) model.
+func constantCV(pts []point) float64 {
+	samples := make([]stats.Sample, len(pts))
+	for i, pt := range pts {
+		samples[i] = stats.Sample{X: pt.x, Y: pt.y}
+	}
+	score, err := stats.LeaveOneOutSMAPE(samples, func(train []stats.Sample) (stats.Predictor, error) {
+		ys := make([]float64, len(train))
+		for i, s := range train {
+			ys[i] = s.Y
+		}
+		m := mathx.Mean(ys)
+		return func([]float64) float64 { return m }, nil
+	})
+	if err != nil {
+		return math.Inf(1)
+	}
+	return score
+}
+
+// finishInfo computes in-sample quality statistics for a final model.
+func finishInfo(m *pmnf.Model, pts []point, cv float64) *ModelInfo {
+	pred := make([]float64, len(pts))
+	obs := make([]float64, len(pts))
+	for i, pt := range pts {
+		pred[i] = m.Eval(pt.x...)
+		obs[i] = pt.y
+	}
+	return &ModelInfo{
+		Model:     m,
+		CVScore:   cv,
+		SMAPE:     stats.SMAPE(pred, obs),
+		RSquared:  stats.RSquared(pred, obs),
+		RelErrors: stats.RelativeErrors(pred, obs),
+	}
+}
+
+// relativeSpread returns (max-min)/max of the values, 0 for empty input.
+func relativeSpread(pts []point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		ys[i] = math.Abs(p.y)
+	}
+	lo, hi := mathx.MinMax(ys)
+	if hi == 0 {
+		return 0
+	}
+	return (hi - lo) / hi
+}
+
+// distinctCoords counts distinct values of coordinate l.
+func distinctCoords(pts []point, l int) int {
+	seen := map[float64]bool{}
+	for _, p := range pts {
+		seen[p.x[l]] = true
+	}
+	return len(seen)
+}
+
+func sortPoints(pts []point) {
+	sort.SliceStable(pts, func(i, j int) bool {
+		a, b := pts[i].x, pts[j].x
+		for l := range a {
+			if a[l] != b[l] {
+				return a[l] < b[l]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,106 @@
+package modeling
+
+import (
+	"math"
+	"sort"
+
+	"extrareq/internal/mathx"
+	"extrareq/internal/pmnf"
+	"extrareq/internal/stats"
+)
+
+// pairSearchThreshold is the cross-validated SMAPE (percent) above which the
+// beam result is considered poor enough to justify the exhaustive two-term
+// search. Mixed-growth data (e.g. c1·x + c2·x²) can defeat a term-by-term
+// search because no single term fits well alone; the exhaustive search
+// considers all pairs jointly.
+const pairSearchThreshold = 1.0
+
+// pairPrescreen is the number of best pairs (by in-sample SMAPE) that are
+// re-scored with full leave-one-out cross-validation.
+const pairPrescreen = 32
+
+// exhaustivePairSearch evaluates every unordered pair of candidate terms
+// jointly. It returns the fitted model and its CV score, or ok=false when no
+// valid pair was found.
+func exhaustivePairSearch(params []string, pts []point, candidates [][]pmnf.Factor, opts *Options) (*pmnf.Model, float64, bool) {
+	n := len(pts)
+	if n < 4 { // need rows >= cols (3) in every LOO fold
+		return nil, 0, false
+	}
+	// Cache the basis column of every candidate over all points.
+	cols := make([][]float64, len(candidates))
+	for c, cand := range candidates {
+		col := make([]float64, n)
+		for i, pt := range pts {
+			v := 1.0
+			for l, f := range cand {
+				v *= f.Eval(pt.x[l])
+			}
+			col[i] = v
+		}
+		cols[c] = col
+	}
+	obs := make([]float64, n)
+	for i, pt := range pts {
+		obs[i] = pt.y
+	}
+
+	type pair struct {
+		i, j  int
+		smape float64
+	}
+	var best []pair
+	a := mathx.NewMatrix(n, 3)
+	for i := 0; i < len(candidates); i++ {
+		for j := i + 1; j < len(candidates); j++ {
+			for r := 0; r < n; r++ {
+				a.Set(r, 0, 1)
+				a.Set(r, 1, cols[i][r])
+				a.Set(r, 2, cols[j][r])
+			}
+			coef, err := mathx.LeastSquares(a, obs)
+			if err != nil {
+				continue
+			}
+			if !opts.AllowNegative && (coef[1] < 0 || coef[2] < 0) {
+				continue
+			}
+			pred := make([]float64, n)
+			for r := 0; r < n; r++ {
+				pred[r] = coef[0] + coef[1]*cols[i][r] + coef[2]*cols[j][r]
+			}
+			s := stats.SMAPE(pred, obs)
+			if math.IsNaN(s) {
+				continue
+			}
+			best = append(best, pair{i, j, s})
+		}
+	}
+	if len(best) == 0 {
+		return nil, 0, false
+	}
+	sort.Slice(best, func(x, y int) bool { return best[x].smape < best[y].smape })
+	if len(best) > pairPrescreen {
+		best = best[:pairPrescreen]
+	}
+
+	var cands []scoredHypothesis
+	for _, pr := range best {
+		h := hypothesis{factors: [][]pmnf.Factor{candidates[pr.i], candidates[pr.j]}}
+		score, err := cvScore(params, h, pts, opts.AllowNegative)
+		if err != nil || math.IsNaN(score) {
+			continue
+		}
+		m, err := fitHypothesis(params, h, pts, opts.AllowNegative)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, scoredHypothesis{h: h, score: score, model: m})
+	}
+	wi := occamSelect(cands, opts.Improvement)
+	if wi < 0 {
+		return nil, 0, false
+	}
+	return cands[wi].model, cands[wi].score, true
+}

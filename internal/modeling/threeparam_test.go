@@ -1,0 +1,73 @@
+package modeling
+
+import (
+	"math"
+	"testing"
+)
+
+// The expanded performance model normal form (Equation 2) is defined for
+// any number of parameters; these tests exercise m = 3 (e.g. process
+// count, problem size, and a solver-quality knob), which the combination
+// machinery must handle without special-casing.
+
+func grid3(f func(p, n, k float64) float64) []Measurement {
+	var ms []Measurement
+	for _, p := range []float64{2, 4, 8, 16, 32} {
+		for _, n := range []float64{32, 64, 128, 256, 512} {
+			for _, k := range []float64{1, 2, 4, 8, 16} {
+				ms = append(ms, Measurement{
+					Coords: []float64{p, n, k},
+					Values: []float64{f(p, n, k)},
+				})
+			}
+		}
+	}
+	return ms
+}
+
+func TestFitThreeParamMultiplicative(t *testing.T) {
+	truth := func(p, n, k float64) float64 { return 3 * math.Log2(p) * n * math.Sqrt(k) }
+	info, err := FitMulti([]string{"p", "n", "k"}, grid3(truth), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][3]float64{{256, 4096, 64}, {1024, 1024, 256}} {
+		want := truth(q[0], q[1], q[2])
+		got := info.Model.Eval(q[0], q[1], q[2])
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("Eval(%v) = %g, want %g (model %s)", q, got, want, info.Model)
+		}
+	}
+}
+
+func TestFitThreeParamPartiallyConstant(t *testing.T) {
+	// The middle parameter is irrelevant; it must not appear in the model.
+	truth := func(p, _, k float64) float64 { return 100*p + 10*k*k }
+	info, err := FitMulti([]string{"p", "n", "k"}, grid3(truth), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := info.Model.DominantFactor("n"); ok {
+		t.Errorf("irrelevant parameter n appears in model %s", info.Model)
+	}
+	want := truth(128, 0, 64)
+	got := info.Model.Eval(128, 99, 64)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("Eval = %g, want %g (model %s)", got, want, info.Model)
+	}
+}
+
+func TestFitThreeParamAdditive(t *testing.T) {
+	truth := func(p, n, k float64) float64 { return 1e4*math.Log2(p) + 50*n + 1e3*k }
+	info, err := FitMulti([]string{"p", "n", "k"}, grid3(truth), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][3]float64{{64, 2048, 32}, {1 << 14, 128, 4}} {
+		want := truth(q[0], q[1], q[2])
+		got := info.Model.Eval(q[0], q[1], q[2])
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("Eval(%v) = %g, want %g (model %s)", q, got, want, info.Model)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package plot renders small ASCII charts for terminals: scatter points
+// (measurements) overlaid with line series (fitted models), with optional
+// logarithmic axes — enough to eyeball whether a requirements model tracks
+// its measurements and how it extrapolates.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one data series.
+type Series struct {
+	Name   string
+	Marker byte
+	Xs, Ys []float64
+}
+
+// Plot is a fixed-size character canvas with data series.
+type Plot struct {
+	Title          string
+	Width, Height  int
+	LogX, LogY     bool
+	XLabel, YLabel string
+
+	series []Series
+}
+
+// New creates a plot with the given canvas size (sensible minimums are
+// enforced).
+func New(title string, width, height int) *Plot {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	return &Plot{Title: title, Width: width, Height: height}
+}
+
+// Scatter adds a point series.
+func (p *Plot) Scatter(name string, marker byte, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("plot: series %q has %d xs and %d ys", name, len(xs), len(ys))
+	}
+	p.series = append(p.series, Series{Name: name, Marker: marker, Xs: xs, Ys: ys})
+	return nil
+}
+
+// Line adds a function series sampled at `samples` points across the
+// current x-range of the existing series (call after Scatter).
+func (p *Plot) Line(name string, marker byte, f func(x float64) float64, samples int) error {
+	xmin, xmax, _, _, err := p.ranges()
+	if err != nil {
+		return fmt.Errorf("plot: Line needs an existing series to define the x-range: %w", err)
+	}
+	if samples < 2 {
+		samples = 64
+	}
+	xs := make([]float64, samples)
+	ys := make([]float64, samples)
+	for i := 0; i < samples; i++ {
+		t := float64(i) / float64(samples-1)
+		var x float64
+		if p.LogX {
+			x = math.Exp(math.Log(xmin) + t*(math.Log(xmax)-math.Log(xmin)))
+		} else {
+			x = xmin + t*(xmax-xmin)
+		}
+		xs[i] = x
+		ys[i] = f(x)
+	}
+	p.series = append(p.series, Series{Name: name, Marker: marker, Xs: xs, Ys: ys})
+	return nil
+}
+
+// ranges computes the data extents across all series.
+func (p *Plot) ranges() (xmin, xmax, ymin, ymax float64, err error) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	n := 0
+	for _, s := range p.series {
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if p.LogX && x <= 0 || p.LogY && y <= 0 {
+				continue
+			}
+			n++
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("no plottable points")
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, nil
+}
+
+// String renders the plot.
+func (p *Plot) String() string {
+	xmin, xmax, ymin, ymax, err := p.ranges()
+	if err != nil {
+		return fmt.Sprintf("%s\n(empty plot: %v)\n", p.Title, err)
+	}
+	canvas := make([][]byte, p.Height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", p.Width))
+	}
+	tx := func(x float64) int {
+		var t float64
+		if p.LogX {
+			t = (math.Log(x) - math.Log(xmin)) / (math.Log(xmax) - math.Log(xmin))
+		} else {
+			t = (x - xmin) / (xmax - xmin)
+		}
+		c := int(math.Round(t * float64(p.Width-1)))
+		return clamp(c, 0, p.Width-1)
+	}
+	ty := func(y float64) int {
+		var t float64
+		if p.LogY {
+			t = (math.Log(y) - math.Log(ymin)) / (math.Log(ymax) - math.Log(ymin))
+		} else {
+			t = (y - ymin) / (ymax - ymin)
+		}
+		r := p.Height - 1 - int(math.Round(t*float64(p.Height-1)))
+		return clamp(r, 0, p.Height-1)
+	}
+	// Draw in reverse order so earlier series (typically the measured
+	// points) end up on top of later ones (typically model lines).
+	for si := len(p.series) - 1; si >= 0; si-- {
+		s := p.series[si]
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if p.LogX && x <= 0 || p.LogY && y <= 0 {
+				continue
+			}
+			canvas[ty(y)][tx(x)] = s.Marker
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yLo, yHi := fmtTick(ymin), fmtTick(ymax)
+	labelW := max(len(yLo), len(yHi))
+	for r, row := range canvas {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", labelW, yHi)
+		}
+		if r == p.Height-1 {
+			label = fmt.Sprintf("%*s", labelW, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", labelW), strings.Repeat("-", p.Width))
+	xl := fmtTick(xmin)
+	xr := fmtTick(xmax)
+	pad := p.Width - len(xl) - len(xr)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s", strings.Repeat(" ", labelW), xl, strings.Repeat(" ", pad), xr)
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s", p.XLabel)
+		if p.LogX {
+			b.WriteString(", log")
+		}
+		b.WriteString(")")
+	}
+	b.WriteString("\n")
+	var legend []string
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.Marker, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 1e4 || a < 1e-2:
+		return fmt.Sprintf("%.1e", v)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,161 @@
+package plot
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestScatterBasics(t *testing.T) {
+	p := New("t", 40, 10)
+	if err := p.Scatter("data", '*', []float64{1, 2, 3}, []float64{1, 4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	if !strings.Contains(out, "t\n") {
+		t.Error("missing title")
+	}
+	markers := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") {
+			markers += strings.Count(line, "*")
+		}
+	}
+	if markers != 3 {
+		t.Errorf("want 3 markers, got %d:\n%s", markers, out)
+	}
+	if !strings.Contains(out, "legend: * data") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+}
+
+func TestCornersLandAtEdges(t *testing.T) {
+	p := New("", 30, 8)
+	if err := p.Scatter("d", 'o', []float64{0, 10}, []float64{0, 100}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(p.String(), "\n")
+	// First canvas row holds the max-y point at the right edge.
+	top := lines[0]
+	if top[strings.Index(top, "|")+30] != 'o' {
+		t.Errorf("top-right corner marker missing: %q", top)
+	}
+	bottom := lines[7]
+	if bottom[strings.Index(bottom, "|")+1] != 'o' {
+		t.Errorf("bottom-left corner marker missing: %q", bottom)
+	}
+}
+
+func TestLineOverlaysModel(t *testing.T) {
+	p := New("fit", 50, 12)
+	xs := []float64{2, 4, 8, 16, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x
+	}
+	if err := p.Scatter("measured", 'o', xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Line("model", '.', func(x float64) float64 { return 3 * x }, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	if strings.Count(out, ".") < 20 {
+		t.Errorf("model line too sparse:\n%s", out)
+	}
+	if !strings.Contains(out, "o measured") || !strings.Contains(out, ". model") {
+		t.Errorf("legend incomplete:\n%s", out)
+	}
+}
+
+func TestLineWithoutScatterFails(t *testing.T) {
+	p := New("", 30, 8)
+	if err := p.Line("m", '.', math.Sqrt, 10); err == nil {
+		t.Fatal("Line without x-range should fail")
+	}
+}
+
+func TestLogAxes(t *testing.T) {
+	p := New("", 41, 9)
+	p.LogX, p.LogY = true, true
+	// Powers of 2: on log axes they must be evenly spaced horizontally.
+	xs := []float64{2, 4, 8, 16, 32}
+	ys := []float64{2, 4, 8, 16, 32}
+	if err := p.Scatter("d", '#', xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	var cols []int
+	for _, line := range strings.Split(out, "\n") {
+		bar := strings.Index(line, "|")
+		if bar < 0 {
+			continue
+		}
+		for c := bar + 1; c < len(line); c++ {
+			if line[c] == '#' {
+				cols = append(cols, c-bar-1)
+			}
+		}
+	}
+	if len(cols) != 5 {
+		t.Fatalf("found %d markers:\n%s", len(cols), out)
+	}
+	sort.Ints(cols)
+	for i := 1; i < len(cols); i++ {
+		gap := cols[i] - cols[i-1]
+		if gap < 9 || gap > 11 {
+			t.Errorf("log spacing uneven: columns %v", cols)
+		}
+	}
+}
+
+func TestNonPositiveSkippedOnLogAxes(t *testing.T) {
+	p := New("", 30, 8)
+	p.LogX = true
+	if err := p.Scatter("d", 'x', []float64{0, 1, 10}, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for _, line := range strings.Split(p.String(), "\n") {
+		if strings.Contains(line, "|") { // canvas rows only, not the legend
+			got += strings.Count(line, "x")
+		}
+	}
+	if got != 2 {
+		t.Errorf("non-positive x not skipped: %d markers", got)
+	}
+}
+
+func TestEmptyPlot(t *testing.T) {
+	p := New("empty", 30, 8)
+	out := p.String()
+	if !strings.Contains(out, "empty plot") {
+		t.Errorf("expected empty-plot notice:\n%s", out)
+	}
+}
+
+func TestMismatchedSeries(t *testing.T) {
+	p := New("", 30, 8)
+	if err := p.Scatter("d", 'x', []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	p := New("", 30, 8)
+	if err := p.Scatter("d", 'x', []float64{5, 5}, []float64{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	if !strings.Contains(out, "x") {
+		t.Errorf("constant series should still render:\n%s", out)
+	}
+}
+
+func TestMinimumCanvas(t *testing.T) {
+	p := New("", 1, 1)
+	if p.Width < 20 || p.Height < 5 {
+		t.Fatal("minimum canvas not enforced")
+	}
+}

@@ -1,0 +1,62 @@
+package pmnf
+
+import "sort"
+
+// The paper, Section III: "We generated models considering polynomial and
+// logarithmic exponents. The polynomial exponents take values between 0 and
+// 3, including all fractions of the types i/8 and i/3. For logarithms, we
+// used the exponents {0; 0.5; 1; 1.5; 2}."
+
+// DefaultPolyExponents returns the ascending, de-duplicated set of
+// polynomial exponents in [0, 3] of the forms i/8 and i/3.
+func DefaultPolyExponents() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	add := func(v float64) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for i := 0; i <= 24; i++ {
+		add(float64(i) / 8)
+	}
+	for i := 0; i <= 9; i++ {
+		add(float64(i) / 3)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// DefaultLogExponents returns the logarithmic exponent set used in the
+// paper's evaluation.
+func DefaultLogExponents() []float64 {
+	return []float64{0, 0.5, 1, 1.5, 2}
+}
+
+// SingleFactors enumerates every non-constant poly-log factor from the given
+// exponent sets. If withCollectives is true, the collective basis functions
+// are appended (they are meaningful for process-count parameters of
+// communication metrics).
+func SingleFactors(polyExps, logExps []float64, withCollectives bool) []Factor {
+	var out []Factor
+	for _, i := range polyExps {
+		for _, j := range logExps {
+			if i == 0 && j == 0 {
+				continue
+			}
+			out = append(out, Factor{Poly: i, Log: j})
+		}
+	}
+	if withCollectives {
+		for _, s := range []Special{Allreduce, Bcast, Alltoall, Allgather} {
+			out = append(out, Factor{Special: s})
+		}
+	}
+	return out
+}
+
+// DefaultSingleFactors enumerates the default hypothesis factors.
+func DefaultSingleFactors(withCollectives bool) []Factor {
+	return SingleFactors(DefaultPolyExponents(), DefaultLogExponents(), withCollectives)
+}

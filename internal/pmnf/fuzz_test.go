@@ -1,0 +1,47 @@
+package pmnf
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse ensures the expression parser never panics and that every
+// accepted expression round-trips through Format with identical semantics.
+func FuzzParse(f *testing.F) {
+	f.Add("10^5·n·log2(n) + 10^3·p^0.25·log2(p)·n")
+	f.Add("Allreduce(p) + 2*Alltoall(p)")
+	f.Add("n^2 - n + 42")
+	f.Add("-1e3*p^1.5")
+	f.Add("log2^1.5(n)*p")
+	f.Fuzz(func(t *testing.T, expr string) {
+		m, err := Parse(expr, "p", "n")
+		if err != nil {
+			return
+		}
+		re, err := Parse(m.Format(formatCoeffDefault), "p", "n")
+		if err != nil {
+			// Format uses %g, which can render very large/small
+			// coefficients in ways that still parse; a failure here is a
+			// bug unless the coefficient is non-finite.
+			for _, term := range m.Terms {
+				if math.IsInf(term.Coeff, 0) || math.IsNaN(term.Coeff) {
+					return
+				}
+			}
+			if math.IsInf(m.Constant, 0) || math.IsNaN(m.Constant) {
+				return
+			}
+			t.Fatalf("accepted %q but failed to re-parse %q: %v", expr, m.Format(formatCoeffDefault), err)
+		}
+		for _, pt := range [][2]float64{{2, 2}, {64, 1024}} {
+			a, b := m.Eval(pt[0], pt[1]), re.Eval(pt[0], pt[1])
+			if math.IsNaN(a) && math.IsNaN(b) {
+				continue
+			}
+			if math.Abs(a-b) > 1e-6*math.Max(1, math.Abs(a)) {
+				t.Fatalf("round trip differs for %q at %v: %g vs %g (rendered %q)",
+					expr, pt, a, b, m.Format(formatCoeffDefault))
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package pmnf
+
+import (
+	"math"
+	"testing"
+
+	"extrareq/internal/mathx"
+)
+
+func evalAt(t *testing.T, expr string, p, n float64) float64 {
+	t.Helper()
+	m, err := Parse(expr, "p", "n")
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	return m.Eval(p, n)
+}
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		expr string
+		p, n float64
+		want float64
+	}{
+		{"42", 4, 8, 42},
+		{"n", 4, 8, 8},
+		{"2*n", 4, 8, 16},
+		{"n^2", 4, 8, 64},
+		{"p^0.5*n", 16, 8, 32},
+		{"log2(p)", 16, 8, 4},
+		{"log2^2(n)", 4, 8, 9},
+		{"n*log2(n)", 4, 8, 24},
+		{"1e5*n", 4, 2, 2e5},
+		{"10^5*n", 4, 2, 2e5},
+		{"10^-2", 4, 2, 0.01},
+		{"3+2*n", 4, 2, 7},
+		{"n^2 - n", 4, 3, 6},
+		{"-5 + n", 4, 8, 3},
+		{"Allreduce(p)", 16, 8, 8},
+		{"2*Alltoall(p)", 5, 1, 8},
+		{"Bcast(p) + Allgather(p)", 8, 1, 3 + 7},
+		{"n*n^0.5", 4, 4, 8},                  // merged exponents
+		{"log2(n)*log2(n)", 4, 16, 16},        // merged log exponents
+		{"10^5·n·log2(n)", 4, 8, 1e5 * 8 * 3}, // the Format rendering
+	}
+	for _, c := range cases {
+		if got := evalAt(t, c.expr, c.p, c.n); !mathx.AlmostEqual(got, c.want, 1e-9) {
+			t.Errorf("%q at (p=%g,n=%g) = %g, want %g", c.expr, c.p, c.n, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "+", "n +", "2**n", "q", "log2(q)", "log2 n", "n^", "10^",
+		"Allreduce(n*n)", "Allreduce(p)*log2(p)", "(n)", "n)",
+	}
+	for _, expr := range bad {
+		if _, err := Parse(expr, "p", "n"); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", expr)
+		}
+	}
+	if _, err := Parse("n", "p", "p"); err == nil {
+		t.Error("duplicate parameters accepted")
+	}
+	if _, err := Parse("n"); err == nil {
+		t.Error("no parameters accepted")
+	}
+	if _, err := Parse("n", ""); err == nil {
+		t.Error("empty parameter name accepted")
+	}
+}
+
+func TestParseRoundTripsPaperModels(t *testing.T) {
+	// Every Table II model string produced by Format must parse back to an
+	// equivalent model.
+	exprs := []string{
+		"10^5·n",
+		"10^5·p^0.25·log2(p)·n·log2(n)",
+		"10^11 + 10^8·n·log2(n) + 10^5·p^1.5",
+		"10^5·Allreduce(p) + 10·Alltoall(p) + 10·n",
+		"10^3·n + 10^2·p·log2(p)",
+		"10^8·p^0.5·log2(p)·n·log2(n)",
+	}
+	for _, expr := range exprs {
+		m, err := Parse(expr, "p", "n")
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", expr, err)
+		}
+		re, err := Parse(m.Format(PowerOfTenCoeff), "p", "n")
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", m.Format(PowerOfTenCoeff), expr, err)
+		}
+		for _, pt := range [][2]float64{{4, 16}, {1 << 14, 1 << 10}, {2e9, 50}} {
+			a, b := m.Eval(pt[0], pt[1]), re.Eval(pt[0], pt[1])
+			if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+				t.Errorf("%q: round trip differs at %v: %g vs %g", expr, pt, a, b)
+			}
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("bogus(", "p")
+}
+
+func TestParseAppModels(t *testing.T) {
+	spec := "bytes_used = 1e3*n + 1e2*p*log2(p); flop = 1e8*n^1.5*p^0.5"
+	models, err := ParseAppModels(spec, "p", "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("got %d models", len(models))
+	}
+	if got := models["flop"].Eval(4, 4); !mathx.AlmostEqual(got, 1e8*8*2, 1e-9) {
+		t.Errorf("flop model eval = %g", got)
+	}
+	for _, bad := range []string{"", "noequals", "m=bogus^"} {
+		if _, err := ParseAppModels(bad, "p", "n"); err == nil {
+			t.Errorf("ParseAppModels(%q) unexpectedly succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package pmnf implements the performance model normal form (PMNF) used by
+// the Extra-P model generator and by this paper (Equations 1 and 2):
+//
+//	f(x_1, ..., x_m) = c_0 + Σ_k c_k · Π_l x_l^{i_kl} · log2^{j_kl}(x_l)
+//
+// A Model is a constant plus a sum of Terms; each Term has one Factor per
+// model parameter. Factors are either polynomial-logarithmic (x^i · log2^j x)
+// or one of the special collective basis functions (Allreduce(p), Bcast(p),
+// Alltoall(p), Allgather(p)) the paper uses to express per-process
+// communication requirements of MPI collectives.
+//
+// The model domain is x >= 1 for every parameter (process counts and
+// problem sizes); log2 factors are clamped at zero below x = 1.
+package pmnf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Special identifies a special (collective) basis function for a factor.
+type Special int
+
+// Special basis functions. The numeric values measure per-process data
+// volume scaling of the collective with p processes (per payload byte,
+// assuming the usual logarithmic/linear algorithms):
+//
+//	Allreduce(p) = 2·log2(p)  (reduce-scatter + allgather rounds)
+//	Bcast(p)     = log2(p)    (binomial tree rounds)
+//	Alltoall(p)  = p - 1      (pairwise exchange)
+//	Allgather(p) = p - 1      (ring/pairwise exchange)
+const (
+	None Special = iota
+	Allreduce
+	Bcast
+	Alltoall
+	Allgather
+)
+
+var specialNames = map[Special]string{
+	None:      "",
+	Allreduce: "Allreduce",
+	Bcast:     "Bcast",
+	Alltoall:  "Alltoall",
+	Allgather: "Allgather",
+}
+
+// String returns the function name of the special basis.
+func (s Special) String() string { return specialNames[s] }
+
+// EvalSpecial evaluates the special basis function at x (x >= 1).
+func EvalSpecial(s Special, x float64) float64 {
+	if x < 1 {
+		x = 1
+	}
+	switch s {
+	case Allreduce:
+		return 2 * math.Log2(x)
+	case Bcast:
+		return math.Log2(x)
+	case Alltoall, Allgather:
+		return x - 1
+	default:
+		return 1
+	}
+}
+
+// Factor is the per-parameter part of a term: x^Poly · log2(x)^Log, or a
+// special collective function of x when Special != None.
+type Factor struct {
+	Poly    float64 `json:"poly"`
+	Log     float64 `json:"log"`
+	Special Special `json:"special,omitempty"`
+}
+
+// One is the neutral factor x^0.
+var One = Factor{}
+
+// IsOne reports whether the factor is constant 1.
+func (f Factor) IsOne() bool { return f.Special == None && f.Poly == 0 && f.Log == 0 }
+
+// Eval evaluates the factor at x. Inputs below 1 are clamped to 1, matching
+// the model domain (process counts and problem sizes are at least 1).
+func (f Factor) Eval(x float64) float64 {
+	if f.Special != None {
+		return EvalSpecial(f.Special, x)
+	}
+	if x < 1 {
+		x = 1
+	}
+	v := 1.0
+	if f.Poly != 0 {
+		v = math.Pow(x, f.Poly)
+	}
+	if f.Log != 0 {
+		v *= math.Pow(math.Log2(x), f.Log)
+	}
+	return v
+}
+
+// Format renders the factor with the given parameter name, e.g.
+// "n^1.5·log2(n)" or "Allreduce(p)". The neutral factor renders as "".
+func (f Factor) Format(param string) string {
+	if f.Special != None {
+		return fmt.Sprintf("%s(%s)", f.Special, param)
+	}
+	var parts []string
+	switch f.Poly {
+	case 0:
+	case 1:
+		parts = append(parts, param)
+	default:
+		parts = append(parts, fmt.Sprintf("%s^%s", param, trimFloat(f.Poly)))
+	}
+	switch f.Log {
+	case 0:
+	case 1:
+		parts = append(parts, fmt.Sprintf("log2(%s)", param))
+	default:
+		parts = append(parts, fmt.Sprintf("log2^%s(%s)", trimFloat(f.Log), param))
+	}
+	return strings.Join(parts, "·")
+}
+
+// GrowthKey orders factors by asymptotic growth: special linear-ish
+// collectives dominate logs, polynomial exponent dominates log exponent.
+// Higher keys grow faster.
+func (f Factor) GrowthKey() (poly, log float64) {
+	switch f.Special {
+	case Alltoall, Allgather:
+		return 1, 0
+	case Allreduce, Bcast:
+		return 0, 1
+	default:
+		return f.Poly, f.Log
+	}
+}
+
+// Compare orders two factors by asymptotic growth; it returns -1, 0, or +1.
+func (f Factor) Compare(g Factor) int {
+	fp, fl := f.GrowthKey()
+	gp, gl := g.GrowthKey()
+	switch {
+	case fp < gp:
+		return -1
+	case fp > gp:
+		return 1
+	case fl < gl:
+		return -1
+	case fl > gl:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Term is one product term of a PMNF model: Coeff · Π_l Factors[l](x_l).
+// Factors has one entry per model parameter, aligned with Model.Params.
+type Term struct {
+	Coeff   float64  `json:"coeff"`
+	Factors []Factor `json:"factors"`
+}
+
+// Eval evaluates the term at the parameter vector x.
+func (t Term) Eval(x []float64) float64 {
+	v := t.Coeff
+	for l, f := range t.Factors {
+		v *= f.Eval(x[l])
+	}
+	return v
+}
+
+// IsConstant reports whether every factor of the term is neutral.
+func (t Term) IsConstant() bool {
+	for _, f := range t.Factors {
+		if !f.IsOne() {
+			return false
+		}
+	}
+	return true
+}
+
+// Model is a multi-parameter PMNF model: Constant + Σ Terms.
+type Model struct {
+	Params   []string `json:"params"` // parameter names, e.g. ["p", "n"]
+	Constant float64  `json:"constant"`
+	Terms    []Term   `json:"terms"`
+}
+
+// NewConstant returns a constant model over the given parameters.
+func NewConstant(c float64, params ...string) *Model {
+	return &Model{Params: params, Constant: c}
+}
+
+// Eval evaluates the model at the parameter vector x (len == len(Params)).
+func (m *Model) Eval(x ...float64) float64 {
+	if len(x) != len(m.Params) {
+		panic(fmt.Sprintf("pmnf: model over %v evaluated with %d arguments", m.Params, len(x)))
+	}
+	v := m.Constant
+	for _, t := range m.Terms {
+		v += t.Eval(x)
+	}
+	return v
+}
+
+// IsConstant reports whether the model has no non-constant terms.
+func (m *Model) IsConstant() bool {
+	for _, t := range m.Terms {
+		if !t.IsConstant() && t.Coeff != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AddTerm appends a term after validating its arity.
+func (m *Model) AddTerm(t Term) {
+	if len(t.Factors) != len(m.Params) {
+		panic(fmt.Sprintf("pmnf: term with %d factors added to model over %v", len(t.Factors), m.Params))
+	}
+	m.Terms = append(m.Terms, t)
+}
+
+// ParamIndex returns the index of the named parameter, or -1.
+func (m *Model) ParamIndex(name string) int {
+	for i, p := range m.Params {
+		if p == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DominantFactor returns the asymptotically fastest-growing factor of the
+// named parameter across all terms (ties broken by first occurrence). The
+// boolean is false if the parameter does not occur in any term.
+func (m *Model) DominantFactor(param string) (Factor, bool) {
+	idx := m.ParamIndex(param)
+	if idx < 0 {
+		return One, false
+	}
+	best := One
+	found := false
+	for _, t := range m.Terms {
+		if t.Coeff == 0 {
+			continue
+		}
+		f := t.Factors[idx]
+		if f.IsOne() {
+			continue
+		}
+		if !found || f.Compare(best) > 0 {
+			best, found = f, true
+		}
+	}
+	return best, found
+}
+
+// String renders the model in the paper's human-readable style, e.g.
+// "10^5·n·log2(n) + 10^3·n·p^0.25·log2(p)". Coefficients are printed in
+// compact scientific-ish form; use FormatCoeff to customize.
+func (m *Model) String() string { return m.Format(formatCoeffDefault) }
+
+// CoeffFormatter renders a term coefficient.
+type CoeffFormatter func(c float64) string
+
+// Format renders the model using the provided coefficient formatter.
+func (m *Model) Format(fc CoeffFormatter) string {
+	var parts []string
+	if m.Constant != 0 || len(m.Terms) == 0 {
+		parts = append(parts, fc(m.Constant))
+	}
+	for _, t := range m.Terms {
+		if t.Coeff == 0 {
+			continue
+		}
+		var fs []string
+		for l, f := range t.Factors {
+			if s := f.Format(m.Params[l]); s != "" {
+				fs = append(fs, s)
+			}
+		}
+		if len(fs) == 0 {
+			parts = append(parts, fc(t.Coeff))
+			continue
+		}
+		if t.Coeff == 1 {
+			parts = append(parts, strings.Join(fs, "·"))
+		} else {
+			parts = append(parts, fc(t.Coeff)+"·"+strings.Join(fs, "·"))
+		}
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " + ")
+}
+
+// PowerOfTenCoeff renders a coefficient as the nearest power of ten
+// ("10^5"), matching the paper's Table II presentation.
+func PowerOfTenCoeff(c float64) string {
+	if c == 0 {
+		return "0"
+	}
+	sign := ""
+	if c < 0 {
+		sign = "-"
+		c = -c
+	}
+	e := int(math.Round(math.Log10(c)))
+	return fmt.Sprintf("%s10^%d", sign, e)
+}
+
+func formatCoeffDefault(c float64) string {
+	if c == math.Trunc(c) && math.Abs(c) < 1e15 {
+		return fmt.Sprintf("%d", int64(c))
+	}
+	return fmt.Sprintf("%.6g", c)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		Params:   append([]string(nil), m.Params...),
+		Constant: m.Constant,
+	}
+	for _, t := range m.Terms {
+		c.Terms = append(c.Terms, Term{Coeff: t.Coeff, Factors: append([]Factor(nil), t.Factors...)})
+	}
+	return c
+}
+
+// SortTermsByGrowth orders terms by descending asymptotic growth of the
+// named parameter (useful for presentation).
+func (m *Model) SortTermsByGrowth(param string) {
+	idx := m.ParamIndex(param)
+	if idx < 0 {
+		return
+	}
+	sort.SliceStable(m.Terms, func(i, j int) bool {
+		return m.Terms[i].Factors[idx].Compare(m.Terms[j].Factors[idx]) > 0
+	})
+}

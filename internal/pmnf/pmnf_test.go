@@ -1,0 +1,304 @@
+package pmnf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"extrareq/internal/mathx"
+)
+
+func TestFactorEval(t *testing.T) {
+	cases := []struct {
+		f    Factor
+		x    float64
+		want float64
+	}{
+		{One, 100, 1},
+		{Factor{Poly: 1}, 7, 7},
+		{Factor{Poly: 2}, 3, 9},
+		{Factor{Poly: 0.5}, 16, 4},
+		{Factor{Log: 1}, 8, 3},
+		{Factor{Log: 2}, 4, 4},
+		{Factor{Poly: 1, Log: 1}, 4, 8},
+		{Factor{Special: Allreduce}, 16, 8},
+		{Factor{Special: Bcast}, 16, 4},
+		{Factor{Special: Alltoall}, 16, 15},
+		{Factor{Special: Allgather}, 9, 8},
+	}
+	for _, c := range cases {
+		if got := c.f.Eval(c.x); !mathx.AlmostEqual(got, c.want, 1e-12) {
+			t.Errorf("%+v at %g = %g, want %g", c.f, c.x, got, c.want)
+		}
+	}
+}
+
+func TestFactorEvalClampsBelowOne(t *testing.T) {
+	f := Factor{Poly: 1, Log: 1}
+	if got := f.Eval(0.5); got != 1*0 {
+		// clamped to x=1: 1^1 * log2(1)^1 = 0
+		t.Errorf("Eval(0.5) = %g, want 0", got)
+	}
+	g := Factor{Poly: 2}
+	if got := g.Eval(-3); got != 1 {
+		t.Errorf("Eval(-3) = %g, want 1 (clamped)", got)
+	}
+}
+
+func TestFactorFormat(t *testing.T) {
+	cases := []struct {
+		f    Factor
+		want string
+	}{
+		{One, ""},
+		{Factor{Poly: 1}, "n"},
+		{Factor{Poly: 1.5}, "n^1.5"},
+		{Factor{Log: 1}, "log2(n)"},
+		{Factor{Log: 0.5}, "log2^0.5(n)"},
+		{Factor{Poly: 0.25, Log: 1}, "n^0.25·log2(n)"},
+		{Factor{Special: Allreduce}, "Allreduce(n)"},
+	}
+	for _, c := range cases {
+		if got := c.f.Format("n"); got != c.want {
+			t.Errorf("Format(%+v) = %q, want %q", c.f, got, c.want)
+		}
+	}
+}
+
+func TestFactorCompare(t *testing.T) {
+	ordered := []Factor{
+		One,
+		{Log: 0.5},
+		{Log: 1},
+		{Special: Bcast},     // grows like log
+		{Poly: 0.25},         // any poly beats any log
+		{Poly: 0.25, Log: 1}, // log breaks poly ties
+		{Poly: 1},
+		{Special: Alltoall}, // grows like p
+		{Poly: 1, Log: 1},
+		{Poly: 2},
+	}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			switch {
+			case i < j:
+				want = -1
+			case i > j:
+				want = 1
+			}
+			// Bcast vs Log:1 and Alltoall vs Poly:1 compare equal by design.
+			fi, fj := ordered[i], ordered[j]
+			pi, li := fi.GrowthKey()
+			pj, lj := fj.GrowthKey()
+			if pi == pj && li == lj {
+				want = 0
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", fi, fj, got, want)
+			}
+		}
+	}
+}
+
+func TestModelEvalAndString(t *testing.T) {
+	// LULESH #FLOP from Table II: 10^5 · n·log2(n) · p^0.25·log2(p)
+	m := &Model{Params: []string{"p", "n"}}
+	m.AddTerm(Term{Coeff: 1e5, Factors: []Factor{
+		{Poly: 0.25, Log: 1},
+		{Poly: 1, Log: 1},
+	}})
+	// At p=16, n=8: 1e5 * (2*4) * (8*3) = 1e5 * 8 * 24
+	want := 1e5 * 8 * 24
+	if got := m.Eval(16, 8); !mathx.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("Eval = %g, want %g", got, want)
+	}
+	s := m.Format(PowerOfTenCoeff)
+	if s != "10^5·p^0.25·log2(p)·n·log2(n)" {
+		t.Errorf("Format = %q", s)
+	}
+}
+
+func TestModelStringConstantAndZero(t *testing.T) {
+	if got := NewConstant(0, "p").String(); got != "0" {
+		t.Errorf("zero model renders %q", got)
+	}
+	if got := NewConstant(42, "p").String(); got != "42" {
+		t.Errorf("constant model renders %q", got)
+	}
+	m := &Model{Params: []string{"p"}}
+	m.AddTerm(Term{Coeff: 1, Factors: []Factor{{Poly: 1}}})
+	if got := m.String(); got != "p" {
+		t.Errorf("unit-coefficient term renders %q", got)
+	}
+}
+
+func TestModelEvalArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	NewConstant(1, "p", "n").Eval(3)
+}
+
+func TestAddTermArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on factor-count mismatch")
+		}
+	}()
+	m := NewConstant(0, "p", "n")
+	m.AddTerm(Term{Coeff: 1, Factors: []Factor{{Poly: 1}}})
+}
+
+func TestDominantFactor(t *testing.T) {
+	// MILC loads/stores: 10^11 + 10^8·n·log2(n) + 10^5·p^1.5
+	m := &Model{Params: []string{"p", "n"}, Constant: 1e11}
+	m.AddTerm(Term{Coeff: 1e8, Factors: []Factor{One, {Poly: 1, Log: 1}}})
+	m.AddTerm(Term{Coeff: 1e5, Factors: []Factor{{Poly: 1.5}, One}})
+	fp, ok := m.DominantFactor("p")
+	if !ok || fp.Poly != 1.5 {
+		t.Errorf("dominant p factor = %+v ok=%v, want p^1.5", fp, ok)
+	}
+	fn, ok := m.DominantFactor("n")
+	if !ok || fn.Poly != 1 || fn.Log != 1 {
+		t.Errorf("dominant n factor = %+v ok=%v, want n·log2(n)", fn, ok)
+	}
+	if _, ok := m.DominantFactor("z"); ok {
+		t.Error("unknown parameter should report !ok")
+	}
+	c := NewConstant(5, "p")
+	if _, ok := c.DominantFactor("p"); ok {
+		t.Error("constant model should have no dominant factor")
+	}
+}
+
+func TestModelClone(t *testing.T) {
+	m := &Model{Params: []string{"p"}, Constant: 1}
+	m.AddTerm(Term{Coeff: 2, Factors: []Factor{{Poly: 1}}})
+	c := m.Clone()
+	c.Terms[0].Coeff = 99
+	c.Terms[0].Factors[0] = Factor{Poly: 3}
+	if m.Terms[0].Coeff != 2 || m.Terms[0].Factors[0].Poly != 1 {
+		t.Fatal("Clone aliases original term data")
+	}
+}
+
+func TestIsConstant(t *testing.T) {
+	m := NewConstant(3, "p")
+	if !m.IsConstant() {
+		t.Error("constant model not recognized")
+	}
+	m.AddTerm(Term{Coeff: 0, Factors: []Factor{{Poly: 1}}})
+	if !m.IsConstant() {
+		t.Error("zero-coefficient term should keep model constant")
+	}
+	m.AddTerm(Term{Coeff: 1, Factors: []Factor{{Poly: 1}}})
+	if m.IsConstant() {
+		t.Error("non-constant model misreported")
+	}
+}
+
+func TestDefaultPolyExponents(t *testing.T) {
+	exps := DefaultPolyExponents()
+	want := map[float64]bool{0: true, 0.125: true, 1.0 / 3.0: true, 2.0 / 3.0: true, 1: true, 2.5: true, 3: true}
+	got := map[float64]bool{}
+	for _, e := range exps {
+		got[e] = true
+		if e < 0 || e > 3 {
+			t.Errorf("exponent %g out of [0,3]", e)
+		}
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("missing exponent %g", w)
+		}
+	}
+	// Ascending and unique.
+	for i := 1; i < len(exps); i++ {
+		if exps[i] <= exps[i-1] {
+			t.Errorf("exponents not strictly ascending at %d: %g <= %g", i, exps[i], exps[i-1])
+		}
+	}
+	// 25 eighths + 6 extra thirds = 31.
+	if len(exps) != 31 {
+		t.Errorf("got %d exponents, want 31", len(exps))
+	}
+}
+
+func TestDefaultSingleFactors(t *testing.T) {
+	fs := DefaultSingleFactors(false)
+	// 31 poly * 5 log - 1 constant = 154.
+	if len(fs) != 154 {
+		t.Errorf("got %d factors, want 154", len(fs))
+	}
+	for _, f := range fs {
+		if f.IsOne() {
+			t.Error("constant factor must not be enumerated")
+		}
+	}
+	withColl := DefaultSingleFactors(true)
+	if len(withColl) != 158 {
+		t.Errorf("got %d factors with collectives, want 158", len(withColl))
+	}
+}
+
+func TestSortTermsByGrowth(t *testing.T) {
+	m := &Model{Params: []string{"p"}}
+	m.AddTerm(Term{Coeff: 1, Factors: []Factor{{Log: 1}}})
+	m.AddTerm(Term{Coeff: 1, Factors: []Factor{{Poly: 2}}})
+	m.AddTerm(Term{Coeff: 1, Factors: []Factor{{Poly: 1}}})
+	m.SortTermsByGrowth("p")
+	if m.Terms[0].Factors[0].Poly != 2 || m.Terms[2].Factors[0].Log != 1 {
+		t.Errorf("terms not sorted by growth: %+v", m.Terms)
+	}
+}
+
+// Property: model evaluation is monotone in each parameter for terms with
+// nonnegative coefficients and exponents.
+func TestModelMonotoneProperty(t *testing.T) {
+	f := func(coeff uint8, polyIdx, logIdx uint8, a, b uint16) bool {
+		polys := DefaultPolyExponents()
+		logs := DefaultLogExponents()
+		fac := Factor{
+			Poly: polys[int(polyIdx)%len(polys)],
+			Log:  logs[int(logIdx)%len(logs)],
+		}
+		m := &Model{Params: []string{"x"}}
+		m.AddTerm(Term{Coeff: float64(coeff) + 1, Factors: []Factor{fac}})
+		x1 := float64(a%1000) + 1
+		x2 := x1 + float64(b%1000) + 1
+		return m.Eval(x2) >= m.Eval(x1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerOfTenCoeff(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1e5, "10^5"}, {3.2e4, "10^5"}, {9e3, "10^4"}, {0, "0"}, {-1e2, "-10^2"}, {1, "10^0"},
+	}
+	for _, c := range cases {
+		if got := PowerOfTenCoeff(c.in); got != c.want {
+			t.Errorf("PowerOfTenCoeff(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvalSpecialClamp(t *testing.T) {
+	if got := EvalSpecial(Allreduce, 0.5); got != 0 {
+		t.Errorf("Allreduce(0.5) = %g, want 0 (clamped)", got)
+	}
+	if got := EvalSpecial(None, 123); got != 1 {
+		t.Errorf("None special = %g, want 1", got)
+	}
+	if !math.IsNaN(math.NaN()) {
+		t.Fatal("sanity")
+	}
+}

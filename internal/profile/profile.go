@@ -1,0 +1,224 @@
+// Package profile is the Score-P substitute: a call-path profiler that
+// attributes metric values to individual program locations ("regions") and
+// their call paths, at the granularity the paper uses to attribute
+// communication requirements to MPI call sites.
+//
+// A Profiler is owned by a single simulated process. After a run, per-rank
+// profiles are merged into a single program profile with Merge, and flat
+// per-path metric tables are extracted with Flatten.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one call-path node: a region name in the context of its parent
+// chain, with metric accumulators.
+type Node struct {
+	Name     string             `json:"name"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	Visits   int64              `json:"visits,omitempty"`
+	Children []*Node            `json:"children,omitempty"`
+
+	parent *Node
+	index  map[string]*Node
+}
+
+func newNode(name string, parent *Node) *Node {
+	return &Node{Name: name, parent: parent, index: map[string]*Node{}}
+}
+
+// child returns (creating if needed) the child with the given name.
+func (n *Node) child(name string) *Node {
+	if n.index == nil {
+		n.index = map[string]*Node{}
+		for _, c := range n.Children {
+			n.index[c.Name] = c
+		}
+	}
+	c, ok := n.index[name]
+	if !ok {
+		c = newNode(name, n)
+		n.index[name] = c
+		n.Children = append(n.Children, c)
+	}
+	return c
+}
+
+// Profiler records a call tree for one simulated process.
+type Profiler struct {
+	root    *Node
+	current *Node
+}
+
+// New returns an empty profiler whose root region is "main".
+func New() *Profiler {
+	root := newNode("main", nil)
+	root.Visits = 1
+	return &Profiler{root: root, current: root}
+}
+
+// Enter pushes a region onto the call path.
+func (p *Profiler) Enter(region string) {
+	p.current = p.current.child(region)
+	p.current.Visits++
+}
+
+// Exit pops the current region. Exiting the root panics: that is always an
+// instrumentation bug in the caller.
+func (p *Profiler) Exit(region string) {
+	if p.current.parent == nil {
+		panic("profile: Exit called on root")
+	}
+	if p.current.Name != region {
+		panic(fmt.Sprintf("profile: Exit(%q) does not match current region %q", region, p.current.Name))
+	}
+	p.current = p.current.parent
+}
+
+// InRegion runs f inside the named region.
+func (p *Profiler) InRegion(region string, f func()) {
+	p.Enter(region)
+	defer p.Exit(region)
+	f()
+}
+
+// AddMetric accumulates a metric value on the current call path.
+func (p *Profiler) AddMetric(metric string, v float64) {
+	if p.current.Metrics == nil {
+		p.current.Metrics = map[string]float64{}
+	}
+	p.current.Metrics[metric] += v
+}
+
+// Root returns the root node of the call tree.
+func (p *Profiler) Root() *Node { return p.root }
+
+// Depth returns the current call-path depth (root = 0).
+func (p *Profiler) Depth() int {
+	d := 0
+	for n := p.current; n.parent != nil; n = n.parent {
+		d++
+	}
+	return d
+}
+
+// PathMetrics is a flattened call-path row.
+type PathMetrics struct {
+	Path    string // "main/solver/allreduce"
+	Visits  int64
+	Metrics map[string]float64
+}
+
+// Flatten returns all call paths with their metrics, sorted by path.
+func (p *Profiler) Flatten() []PathMetrics {
+	var out []PathMetrics
+	var walk func(n *Node, prefix string)
+	walk = func(n *Node, prefix string) {
+		path := prefix + n.Name
+		out = append(out, PathMetrics{Path: path, Visits: n.Visits, Metrics: copyMetrics(n.Metrics)})
+		for _, c := range n.Children {
+			walk(c, path+"/")
+		}
+	}
+	walk(p.root, "")
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// MetricTotal returns the sum of the named metric over the whole call tree.
+func (p *Profiler) MetricTotal(metric string) float64 {
+	var total float64
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		total += n.Metrics[metric]
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.root)
+	return total
+}
+
+// PathMetric returns the value of a metric at an exact call path (using
+// "/"-separated region names starting with "main"), or 0 if absent.
+func (p *Profiler) PathMetric(path, metric string) float64 {
+	parts := strings.Split(path, "/")
+	n := p.root
+	if len(parts) == 0 || parts[0] != n.Name {
+		return 0
+	}
+	for _, part := range parts[1:] {
+		var next *Node
+		for _, c := range n.Children {
+			if c.Name == part {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return 0
+		}
+		n = next
+	}
+	return n.Metrics[metric]
+}
+
+// Merge adds the call tree of o into p (summing metrics and visits of
+// matching paths). Used to aggregate the per-rank profiles of a run.
+func (p *Profiler) Merge(o *Profiler) {
+	var merge func(dst, src *Node)
+	merge = func(dst, src *Node) {
+		dst.Visits += src.Visits
+		for k, v := range src.Metrics {
+			if dst.Metrics == nil {
+				dst.Metrics = map[string]float64{}
+			}
+			dst.Metrics[k] += v
+		}
+		for _, sc := range src.Children {
+			merge(dst.child(sc.Name), sc)
+		}
+	}
+	// Each per-process root starts with Visits == 1, so after merging the
+	// root visit count equals the number of merged processes.
+	merge(p.root, o.root)
+}
+
+// MarshalJSON serializes the call tree.
+func (p *Profiler) MarshalJSON() ([]byte, error) { return json.Marshal(p.root) }
+
+// UnmarshalJSON restores a call tree serialized by MarshalJSON. The restored
+// profiler's current region is the root.
+func (p *Profiler) UnmarshalJSON(data []byte) error {
+	var root Node
+	if err := json.Unmarshal(data, &root); err != nil {
+		return err
+	}
+	fixParents(&root, nil)
+	p.root = &root
+	p.current = &root
+	return nil
+}
+
+func fixParents(n *Node, parent *Node) {
+	n.parent = parent
+	n.index = nil
+	for _, c := range n.Children {
+		fixParents(c, n)
+	}
+}
+
+func copyMetrics(m map[string]float64) map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	c := make(map[string]float64, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}

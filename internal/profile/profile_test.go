@@ -1,0 +1,150 @@
+package profile
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestEnterExitAndMetrics(t *testing.T) {
+	p := New()
+	p.Enter("solver")
+	p.AddMetric("flop", 100)
+	p.Enter("allreduce")
+	p.AddMetric("bytes", 64)
+	p.Exit("allreduce")
+	p.Exit("solver")
+	p.AddMetric("flop", 1)
+
+	if got := p.MetricTotal("flop"); got != 101 {
+		t.Errorf("flop total = %g, want 101", got)
+	}
+	if got := p.PathMetric("main/solver/allreduce", "bytes"); got != 64 {
+		t.Errorf("path bytes = %g, want 64", got)
+	}
+	if got := p.PathMetric("main/solver", "flop"); got != 100 {
+		t.Errorf("solver flop = %g, want 100", got)
+	}
+	if got := p.PathMetric("main/bogus", "flop"); got != 0 {
+		t.Errorf("missing path = %g, want 0", got)
+	}
+	if got := p.PathMetric("wrong-root", "flop"); got != 0 {
+		t.Errorf("wrong root = %g, want 0", got)
+	}
+}
+
+func TestExitMismatchPanics(t *testing.T) {
+	p := New()
+	p.Enter("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched Exit")
+		}
+	}()
+	p.Exit("b")
+}
+
+func TestExitRootPanics(t *testing.T) {
+	p := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Exit at root")
+		}
+	}()
+	p.Exit("main")
+}
+
+func TestInRegion(t *testing.T) {
+	p := New()
+	p.InRegion("kernel", func() {
+		p.AddMetric("flop", 5)
+		if p.Depth() != 1 {
+			t.Errorf("depth inside region = %d, want 1", p.Depth())
+		}
+	})
+	if p.Depth() != 0 {
+		t.Errorf("depth after region = %d, want 0", p.Depth())
+	}
+	if got := p.PathMetric("main/kernel", "flop"); got != 5 {
+		t.Errorf("kernel flop = %g, want 5", got)
+	}
+}
+
+func TestVisitsCount(t *testing.T) {
+	p := New()
+	for i := 0; i < 3; i++ {
+		p.InRegion("iter", func() {})
+	}
+	flat := p.Flatten()
+	var found bool
+	for _, pm := range flat {
+		if pm.Path == "main/iter" {
+			found = true
+			if pm.Visits != 3 {
+				t.Errorf("visits = %d, want 3", pm.Visits)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("main/iter not in flattened profile")
+	}
+}
+
+func TestFlattenSorted(t *testing.T) {
+	p := New()
+	p.InRegion("z", func() {})
+	p.InRegion("a", func() {})
+	flat := p.Flatten()
+	for i := 1; i < len(flat); i++ {
+		if flat[i].Path < flat[i-1].Path {
+			t.Fatalf("paths not sorted: %q after %q", flat[i].Path, flat[i-1].Path)
+		}
+	}
+}
+
+func TestMergeProfiles(t *testing.T) {
+	a := New()
+	a.InRegion("solve", func() { a.AddMetric("bytes", 10) })
+	b := New()
+	b.InRegion("solve", func() { b.AddMetric("bytes", 20) })
+	b.InRegion("io", func() { b.AddMetric("bytes", 1) })
+	a.Merge(b)
+	if got := a.PathMetric("main/solve", "bytes"); got != 30 {
+		t.Errorf("merged solve bytes = %g, want 30", got)
+	}
+	if got := a.PathMetric("main/io", "bytes"); got != 1 {
+		t.Errorf("merged io bytes = %g, want 1", got)
+	}
+	if a.Root().Visits != 2 {
+		t.Errorf("merged root visits = %d, want 2 (processes)", a.Root().Visits)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := New()
+	p.InRegion("solve", func() {
+		p.AddMetric("flop", 42)
+		p.InRegion("inner", func() { p.AddMetric("flop", 1) })
+	})
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Profiler
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.PathMetric("main/solve/inner", "flop"); got != 1 {
+		t.Errorf("restored inner flop = %g, want 1", got)
+	}
+	// The restored profiler must be usable for further recording.
+	back.InRegion("solve", func() { back.AddMetric("flop", 8) })
+	if got := back.PathMetric("main/solve", "flop"); got != 50 {
+		t.Errorf("post-restore solve flop = %g, want 50", got)
+	}
+}
+
+func TestMetricTotalEmpty(t *testing.T) {
+	if got := New().MetricTotal("x"); got != 0 {
+		t.Errorf("empty total = %g, want 0", got)
+	}
+}

@@ -1,0 +1,131 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"extrareq/internal/codesign"
+	"extrareq/internal/metrics"
+	"extrareq/internal/workload"
+)
+
+// RatedTable renders the rated-exascale extension (§III-B): per-resource
+// service times and the overlap/serial bounds for the benchmark problem.
+func RatedTable(appName string, outcomes []codesign.RatedOutcome) string {
+	t := NewTable(
+		fmt.Sprintf("Rated exascale study for %s (benchmark problem; seconds).", appName),
+		"System", "Compute", "Network", "Memory", "Bound (overlap)", "Bound (serial)", "Bottleneck")
+	for _, o := range outcomes {
+		if !o.Fits {
+			t.AddRow(o.System.Name, "does not fit")
+			continue
+		}
+		b := o.Breakdown
+		t.AddRow(o.System.Name,
+			Num(b.Compute), Num(b.Network), Num(b.Memory),
+			Num(b.LowerBound()), Num(b.UpperBound()), b.Bottleneck())
+	}
+	return t.String()
+}
+
+// QualityTable renders per-metric model-fit diagnostics for fitted
+// requirements (cross-validated SMAPE, in-sample SMAPE, R²) — the numbers a
+// user checks before trusting an extrapolation.
+func QualityTable(results []*workload.FitResult) string {
+	t := NewTable("Model fit quality.", "App", "Metric", "Model", "CV SMAPE %", "SMAPE %", "R²")
+	for _, f := range results {
+		first := true
+		for _, m := range metrics.All() {
+			info, ok := f.Info[m]
+			if !ok {
+				continue
+			}
+			name := ""
+			if first {
+				name = f.App.Name
+				first = false
+			}
+			t.AddRow(name, m.Display(), info.Model.String(),
+				fmt.Sprintf("%.2f", info.CVScore),
+				fmt.Sprintf("%.2f", info.SMAPE),
+				fmt.Sprintf("%.4f", info.RSquared))
+		}
+	}
+	return t.String()
+}
+
+// DesignTable renders a full design assessment.
+func DesignTable(d *codesign.Design) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Design assessment: %s on %q (%s processors, %s B/processor, %s flop/s/processor)\n",
+		d.App.Name, d.System.Name, Num(d.System.Processors), Num(d.System.MemPerProcessor),
+		Num(d.System.FlopsPerProcessor))
+	if !d.Fits {
+		b.WriteString("VERDICT: does not fit — the per-process memory cannot hold the minimal problem\n")
+		if d.Warnings[metrics.MemoryBytes] {
+			b.WriteString("  (the memory footprint grows with the process count; see Table II ⚠)\n")
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "Operating point: p = %s, n = %s (overall problem %s)\n",
+		Num(d.Op.P), Num(d.Op.N), Num(d.Op.Overall()))
+
+	t := NewTable("Per-process requirements at the operating point.",
+		"Metric", "Value", "Flag")
+	for _, m := range metrics.All() {
+		v, ok := d.Requirements[m]
+		if !ok {
+			continue
+		}
+		flag := ""
+		if d.Warnings[m] {
+			flag = "(!)"
+		}
+		t.AddRow(m.Display(), Num(v), flag)
+	}
+	b.WriteString(t.String())
+
+	fmt.Fprintf(&b, "Rated service times [s]: compute %s, network %s, memory %s -> bottleneck: %s\n",
+		Num(d.Breakdown.Compute), Num(d.Breakdown.Network), Num(d.Breakdown.Memory),
+		d.Breakdown.Bottleneck())
+
+	ut := NewTable("Upgrade comparison (benefit = delivered overall growth / requirement overshoot).",
+		"Upgrade", "n ratio", "Overall", "Benefit")
+	for _, o := range d.Upgrades {
+		ut.AddRow(o.Upgrade.String(), Ratio(o.NRatio), Ratio(o.OverallRatio),
+			fmt.Sprintf("%.2f", codesign.BenefitScore(o)))
+	}
+	b.WriteString(ut.String())
+	fmt.Fprintf(&b, "Recommended upgrade: %s\n", d.Best.Upgrade.Name)
+	return b.String()
+}
+
+// PortTable renders a §II-E port analysis: requirement balances on two
+// systems and the growth factor K per balance.
+func PortTable(p *codesign.PortAnalysis) string {
+	t := NewTable(
+		fmt.Sprintf("Porting %s: requirement balance shifts (A: p=%s n=%s -> B: p=%s n=%s).",
+			p.App.Name, Num(p.A.P), Num(p.A.N), Num(p.B.P), Num(p.B.N)),
+		"Balance", "On A", "On B", "K (pressure growth on B)")
+	for _, s := range p.Shifts {
+		t.AddRow(
+			fmt.Sprintf("%s / %s", s.Numerator.Display(), s.Denominator.Display()),
+			Num(s.RatioA), Num(s.RatioB), Ratio(s.K))
+	}
+	return t.String()
+}
+
+// ShareTable renders a space-sharing study (§II-E).
+func ShareTable(outcomes []codesign.ShareOutcome) string {
+	t := NewTable("Space-shared system study.",
+		"App", "Share", "Processes", "Problem size per process", "Overall problem")
+	for _, o := range outcomes {
+		if !o.Fits {
+			t.AddRow(o.App.Name, fmt.Sprintf("%.0f%%", o.Fraction*100), "-", "does not fit", "-")
+			continue
+		}
+		t.AddRow(o.App.Name, fmt.Sprintf("%.0f%%", o.Fraction*100),
+			Num(o.Op.P), Num(o.Op.N), Num(o.Op.Overall()))
+	}
+	return t.String()
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"extrareq/internal/codesign"
+	"extrareq/internal/machine"
+)
+
+func TestRatedTable(t *testing.T) {
+	outcomes, err := codesign.RatedExascaleStudy(codesign.PaperMILC(), machine.StrawMen(),
+		func(s machine.System) codesign.Rates { return codesign.DefaultRates(s.FlopsPerProcessor) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RatedTable("MILC", outcomes)
+	for _, want := range []string{"MILC", "Bottleneck", "memory", "Vector"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RatedTable missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRatedTableDoesNotFit(t *testing.T) {
+	outcomes, err := codesign.RatedExascaleStudy(codesign.PaperIcoFoam(), machine.StrawMen(),
+		func(s machine.System) codesign.Rates { return codesign.DefaultRates(s.FlopsPerProcessor) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RatedTable("icoFoam", outcomes)
+	if !strings.Contains(out, "does not fit") {
+		t.Errorf("RatedTable missing does-not-fit marker:\n%s", out)
+	}
+}
+
+func TestDesignTable(t *testing.T) {
+	sys := machine.StrawMen()[1]
+	d, err := codesign.Assess(codesign.PaperMILC(), sys, codesign.DefaultRates(sys.FlopsPerProcessor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DesignTable(d)
+	for _, want := range []string{
+		"Design assessment: MILC", "Operating point", "bottleneck: memory",
+		"Recommended upgrade: Double the memory",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DesignTable missing %q:\n%s", want, out)
+		}
+	}
+	d2, err := codesign.Assess(codesign.PaperIcoFoam(), sys, codesign.DefaultRates(sys.FlopsPerProcessor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := DesignTable(d2); !strings.Contains(out, "does not fit") {
+		t.Errorf("non-fitting design table wrong:\n%s", out)
+	}
+}
+
+func TestPortTableRender(t *testing.T) {
+	a := codesign.DefaultBaseline()
+	b := machine.Skeleton{P: 1 << 20, Mem: 256 << 20}
+	res, err := codesign.AnalyzePort(codesign.PaperLULESH(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := PortTable(res)
+	for _, want := range []string{"Porting LULESH", "K (pressure growth on B)", "#FLOP / #Bytes sent & received"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PortTable missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShareTable(t *testing.T) {
+	sk := machine.Skeleton{P: 1000, Mem: 1e9}
+	outcomes, err := codesign.ShareSystem(
+		[]codesign.App{codesign.PaperKripke(), codesign.PaperMILC()}, sk, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ShareTable(outcomes)
+	for _, want := range []string{"Kripke", "MILC", "50%", "Overall problem"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ShareTable missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShareTableNonFitting(t *testing.T) {
+	sk := machine.Skeleton{P: 1 << 22, Mem: 1e6}
+	outcomes, err := codesign.ShareSystem([]codesign.App{codesign.PaperIcoFoam()}, sk, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ShareTable(outcomes)
+	if !strings.Contains(out, "does not fit") {
+		t.Errorf("ShareTable missing does-not-fit marker:\n%s", out)
+	}
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"extrareq/internal/apps"
+	"extrareq/internal/metrics"
+	"extrareq/internal/workload"
+)
+
+func TestMarkdownRendering(t *testing.T) {
+	tb := NewTable("My Title", "A", "B")
+	tb.AddRow("1", "x|y")
+	out := tb.Markdown()
+	for _, want := range []string{"**My Title**", "| A | B |", "|---|---|", "| 1 | x\\|y |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdownNoTitle(t *testing.T) {
+	tb := NewTable("", "H")
+	tb.AddRow("v")
+	out := tb.Markdown()
+	if strings.Contains(out, "**") {
+		t.Errorf("empty title should not render bold markers:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "| H |") {
+		t.Errorf("unexpected prefix:\n%s", out)
+	}
+}
+
+func TestModelPlot(t *testing.T) {
+	c, err := workload.Run(apps.NewKripke(), workload.Grid{
+		Procs: []int{2, 4, 8, 16, 32},
+		Ns:    []int{64, 128, 256, 512, 1024},
+		Seed:  11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := workload.Fit(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ModelPlot(c, fit.Info[metrics.Flops], metrics.Flops)
+	for _, want := range []string{"#FLOP vs n", "#FLOP vs p", "o measured", ". model"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ModelPlot missing %q", want)
+		}
+	}
+	// Both charts must carry the five measured points of their axis line.
+	for _, chart := range strings.Split(out, "\n\n") {
+		markers := 0
+		for _, line := range strings.Split(chart, "\n") {
+			if strings.Contains(line, "|") {
+				markers += strings.Count(line, "o")
+			}
+		}
+		if markers < 4 { // points can overlap on a coarse canvas
+			t.Errorf("chart shows only %d measured points:\n%s", markers, chart)
+		}
+	}
+}
+
+func TestQualityTable(t *testing.T) {
+	c, err := workload.Run(apps.NewKripke(), workload.Grid{
+		Procs: []int{2, 4, 8, 16, 32},
+		Ns:    []int{64, 128, 256, 512, 1024},
+		Seed:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := workload.Fit(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := QualityTable([]*workload.FitResult{fit})
+	for _, want := range []string{"Kripke", "CV SMAPE %", "R²", "#FLOP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("QualityTable missing %q:\n%s", want, out)
+		}
+	}
+}

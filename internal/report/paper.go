@@ -1,0 +1,207 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"extrareq/internal/codesign"
+	"extrareq/internal/machine"
+	"extrareq/internal/metrics"
+	"extrareq/internal/pmnf"
+	"extrareq/internal/stats"
+)
+
+// Table1 renders the requirement metrics catalogue (Table I).
+func Table1() string {
+	t := NewTable("Table I: Requirement metrics.", "Resource", "Metric")
+	seen := map[string]bool{}
+	for _, m := range metrics.All() {
+		res := m.Resource()
+		if seen[res] {
+			t.AddRow("", m.Display())
+			continue
+		}
+		seen[res] = true
+		t.AddRow(res, m.Display())
+	}
+	return t.String()
+}
+
+// Table2 renders per-process requirements models for the given apps, with
+// warning flags computed at the reference skeleton (Table II).
+func Table2(apps []codesign.App, ref machine.Skeleton) (string, error) {
+	t := NewTable("Table II: Per-process requirements models.", "App", "Metric", "Model", "")
+	for _, app := range apps {
+		warns, err := codesign.Warnings(app, ref)
+		if err != nil {
+			return "", err
+		}
+		first := true
+		for _, m := range metrics.All() {
+			model, ok := app.Models[m]
+			if !ok {
+				continue
+			}
+			name := ""
+			if first {
+				name = app.Name
+				first = false
+			}
+			flag := ""
+			if warns[m] {
+				flag = "(!)"
+			}
+			rendered := model.Format(pmnf.PowerOfTenCoeff)
+			if model.IsConstant() {
+				rendered = "Constant"
+			}
+			t.AddRow(name, m.Display(), rendered, flag)
+		}
+	}
+	return t.String(), nil
+}
+
+// Figure3 renders the relative-error histogram of the model fits
+// (Figure 3).
+func Figure3(classes []stats.ErrorClass) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: Measurements classified by percentile relative error over all generated models.\n")
+	var total int64
+	maxCount := int64(1)
+	for _, c := range classes {
+		total += c.Count
+		if c.Count > maxCount {
+			maxCount = c.Count
+		}
+	}
+	if total == 0 {
+		total = 1
+	}
+	const width = 40
+	for _, c := range classes {
+		bar := int(width * c.Count / maxCount)
+		fmt.Fprintf(&b, "%-7s |%-*s| %5.1f%% (%d)\n",
+			c.Label, width, strings.Repeat("#", bar), 100*float64(c.Count)/float64(total), c.Count)
+	}
+	return b.String()
+}
+
+// Table3 renders the upgrade scenarios (Table III).
+func Table3() string {
+	t := NewTable("Table III: Process count and memory per process for three system upgrades.",
+		"System upgrade", "Process count", "Memory per process")
+	format := func(f float64, sym string) string {
+		switch f {
+		case 1:
+			return sym + "' = " + sym
+		default:
+			return fmt.Sprintf("%s' = %g · %s", sym, f, sym)
+		}
+	}
+	for _, u := range machine.Upgrades() {
+		t.AddRow(u.String(), format(u.ProcFactor, "p"), format(u.MemFactor, "m"))
+	}
+	return t.String()
+}
+
+// Table4 renders the walk-through workflow (Table IV).
+func Table4(appName string, upgrade machine.Upgrade, steps []codesign.WalkthroughStep) string {
+	t := NewTable(
+		fmt.Sprintf("Table IV: Workflow for determining the requirements of %s after upgrade %s.", appName, upgrade.Key),
+		"Step", "Quantity", "Old", "New", "Ratio")
+	for _, s := range steps {
+		t.AddRow(s.Step, s.Description, s.Old, s.New, Ratio(s.Ratio))
+	}
+	return t.String()
+}
+
+// Table5 renders the upgrade comparison (Table V). Apps are rendered in the
+// given order; the baseline expectation column follows the paper (linear
+// relation between requirements and problem size per process).
+func Table5(study map[string][]codesign.UpgradeOutcome, appOrder []string) string {
+	var b strings.Builder
+	b.WriteString("Table V: System upgrade comparison.\n")
+	baseline := map[string][5]string{
+		"A": {"1", "2", "1", "1", "1"},
+		"B": {"0.5", "1", "0.5", "0.5", "0.5"},
+		"C": {"2", "2", "2", "2", "2"},
+	}
+	rows := []string{"Problem size per process", "Overall problem size",
+		"Computation", "Communication", "Memory access"}
+	for ui, u := range machine.Upgrades() {
+		t := NewTable(fmt.Sprintf("System upgrade %s", u),
+			append(append([]string{"Ratios"}, appOrder...), "Baseline")...)
+		for ri, rname := range rows {
+			cells := []string{rname}
+			for _, app := range appOrder {
+				outs := study[app]
+				if ui >= len(outs) {
+					cells = append(cells, "-")
+					continue
+				}
+				o := outs[ui]
+				var v float64
+				switch ri {
+				case 0:
+					v = o.NRatio
+				case 1:
+					v = o.OverallRatio
+				case 2:
+					v = o.CompRatio
+				case 3:
+					v = o.CommRatio
+				case 4:
+					v = o.MemAccessRatio
+				}
+				cells = append(cells, Ratio(v))
+			}
+			cells = append(cells, baseline[u.Key][ri])
+			t.AddRow(cells...)
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table6 renders the straw-man systems (Table VI).
+func Table6() string {
+	t := NewTable("Table VI: Characteristics of three exascale straw-man systems.",
+		"Metric", "Massively parallel", "Vector", "Hybrid")
+	systems := machine.StrawMen()
+	row := func(name string, f func(machine.System) float64) {
+		cells := []string{name}
+		for _, s := range systems {
+			cells = append(cells, Num(f(s)))
+		}
+		t.AddRow(cells...)
+	}
+	row("Nodes", func(s machine.System) float64 { return s.Nodes })
+	row("Processors", func(s machine.System) float64 { return s.Processors })
+	row("Processors per node", machine.System.ProcessorsPerNode)
+	row("Memory per processor", func(s machine.System) float64 { return s.MemPerProcessor })
+	row("Flop/s per processor", func(s machine.System) float64 { return s.FlopsPerProcessor })
+	return t.String()
+}
+
+// Table7 renders the exascale study (Table VII).
+func Table7(results []codesign.ExascaleResult) string {
+	t := NewTable("Table VII: Maximum overall problem size and minimum wall time per straw-man system.",
+		"App", "Metric", "Massively parallel", "Vector", "Hybrid")
+	for _, r := range results {
+		sizeCells := []string{r.App.Name, "Maximum overall problem size"}
+		timeCells := []string{"", "Minimum wall time for benchmark problem [s]"}
+		for _, o := range r.Outcomes {
+			if !o.Fits {
+				sizeCells = append(sizeCells, "does not fit")
+				timeCells = append(timeCells, "-")
+				continue
+			}
+			sizeCells = append(sizeCells, Num(o.MaxOverall))
+			timeCells = append(timeCells, Num(o.WallTime))
+		}
+		t.AddRow(sizeCells...)
+		t.AddRow(timeCells...)
+	}
+	return t.String()
+}

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"extrareq/internal/metrics"
+	"extrareq/internal/modeling"
+	"extrareq/internal/plot"
+	"extrareq/internal/workload"
+)
+
+// ModelPlot renders two log-log ASCII charts for one fitted metric:
+// measurements and model along the n-axis (p held at its smallest measured
+// value) and along the p-axis (n held at its smallest measured value),
+// extending the model line 4x beyond the measured range so the reader sees
+// the extrapolation trend.
+func ModelPlot(c *workload.Campaign, info *modeling.ModelInfo, m metrics.Metric) string {
+	minP, minN := math.Inf(1), math.Inf(1)
+	for _, s := range c.Samples {
+		minP = math.Min(minP, float64(s.P))
+		minN = math.Min(minN, float64(s.N))
+	}
+	var b strings.Builder
+	b.WriteString(axisPlot(c, info, m, "n", minP))
+	b.WriteString("\n")
+	b.WriteString(axisPlot(c, info, m, "p", minN))
+	return b.String()
+}
+
+// axisPlot charts the metric along one axis with the other held fixed.
+func axisPlot(c *workload.Campaign, info *modeling.ModelInfo, m metrics.Metric, axis string, fixed float64) string {
+	var xs, ys []float64
+	for _, s := range c.Samples {
+		v, ok := s.Values[m.String()]
+		if !ok {
+			continue
+		}
+		switch axis {
+		case "n":
+			if float64(s.P) == fixed {
+				xs = append(xs, float64(s.N))
+				ys = append(ys, v)
+			}
+		case "p":
+			if float64(s.N) == fixed {
+				xs = append(xs, float64(s.P))
+				ys = append(ys, v)
+			}
+		}
+	}
+	title := fmt.Sprintf("%s: %s vs %s (other axis at %s; model: %s)",
+		c.App, m.Display(), axis, Num(fixed), info.Model)
+	p := plot.New(title, 64, 14)
+	p.LogX, p.LogY = true, true
+	p.XLabel = axis
+	if err := p.Scatter("measured", 'o', xs, ys); err != nil || len(xs) == 0 {
+		return title + "\n(no points on this axis)\n"
+	}
+	// Extend the x-range 4x beyond the measurements to show extrapolation.
+	maxX := xs[0]
+	for _, x := range xs {
+		maxX = math.Max(maxX, x)
+	}
+	p.Scatter("", ' ', []float64{maxX * 4}, []float64{ys[len(ys)-1]}) //nolint:errcheck // widens the range only
+	model := func(x float64) float64 {
+		if axis == "n" {
+			return info.Model.Eval(fixed, x)
+		}
+		return info.Model.Eval(x, fixed)
+	}
+	if err := p.Line("model", '.', model, 60); err != nil {
+		return title + "\n(model line unavailable)\n"
+	}
+	return p.String()
+}

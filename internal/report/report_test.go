@@ -1,0 +1,163 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"extrareq/internal/codesign"
+	"extrareq/internal/machine"
+	"extrareq/internal/stats"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "A", "BB")
+	tb.AddRow("x", "y")
+	tb.AddRow("longer")
+	out := tb.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "A") {
+		t.Fatalf("missing title/header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableRowArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for too many cells")
+		}
+	}()
+	NewTable("t", "A").AddRow("1", "2")
+}
+
+func TestNum(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {42, "42"}, {1e10, "10^10"}, {2.5e9, "2.5·10^9"},
+		{math.NaN(), "-"}, {0.5, "0.5"}, {1e-10, "10^-10"}, {-2e6, "-2·10^6"},
+		{2e9, "2·10^9"},
+	}
+	for _, c := range cases {
+		if got := Num(c.in); got != c.want {
+			t.Errorf("Num(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"}, {2.01, "2"}, {1.2, "1.2"}, {0.5, "0.5"}, {math.NaN(), "-"},
+		{2.83, "2.8"},
+	}
+	for _, c := range cases {
+		if got := Ratio(c.in); got != c.want {
+			t.Errorf("Ratio(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"Memory footprint", "#FLOP", "Stack distance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	out, err := Table2(codesign.PaperApps(), codesign.DefaultBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Kripke", "icoFoam", "10^5·n", "(!)", "Constant"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q", want)
+		}
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	classes := []stats.ErrorClass{
+		{Label: "<5%", Upper: 0.05, Count: 88},
+		{Label: ">20%", Upper: math.Inf(1), Count: 12},
+	}
+	out := Figure3(classes)
+	if !strings.Contains(out, "<5%") || !strings.Contains(out, "88.0%") {
+		t.Errorf("Figure3 output wrong:\n%s", out)
+	}
+	if empty := Figure3(nil); !strings.Contains(empty, "Figure 3") {
+		t.Error("empty Figure3 should still render a title")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	out := Table3()
+	for _, want := range []string{"Double the racks", "p' = 2 · p", "m' = 0.5 · m", "m' = m"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	app := codesign.PaperLULESH()
+	up := machine.Upgrades()[0]
+	steps, err := codesign.Walkthrough(app, codesign.DefaultBaseline(), up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table4(app.Name, up, steps)
+	for _, want := range []string{"LULESH", "Overall problem size", "#FLOP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table4 missing %q", want)
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	study, err := codesign.UpgradeStudy(codesign.PaperApps(), codesign.DefaultBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []string{"Kripke", "LULESH", "MILC", "Relearn", "icoFoam"}
+	out := Table5(study, order)
+	for _, want := range []string{"System upgrade A", "System upgrade C", "Baseline", "Memory access"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table5 missing %q", want)
+		}
+	}
+}
+
+func TestTable6(t *testing.T) {
+	out := Table6()
+	for _, want := range []string{"Massively parallel", "10^9", "Flop/s per processor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table6 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable7(t *testing.T) {
+	res, err := codesign.ExascaleStudyAll(codesign.PaperApps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table7(res)
+	for _, want := range []string{"Kripke", "does not fit", "Minimum wall time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table7 missing %q:\n%s", want, out)
+		}
+	}
+}

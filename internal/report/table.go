@@ -1,0 +1,155 @@
+// Package report renders the paper's tables and figures as aligned text:
+// Table I (metrics), Table II (requirements models with warning flags),
+// Figure 3 (relative-error histogram), Table III (upgrades), Table IV
+// (walk-through), Table V (upgrade comparison), Table VI (straw-men), and
+// Table VII (exascale study).
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are
+// rejected.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		panic(fmt.Sprintf("report: row with %d cells in a %d-column table", len(cells), len(t.Headers)))
+	}
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = displayWidth(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if w := displayWidth(c); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-displayWidth(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored Markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	b.WriteString("|")
+	for range t.Headers {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// displayWidth approximates the printed width (rune count).
+func displayWidth(s string) int { return len([]rune(s)) }
+
+// Num formats a value compactly: powers of ten as "10^k", round trips small
+// integers, scientific for the rest.
+func Num(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == 0:
+		return "0"
+	case v == math.Trunc(v) && math.Abs(v) < 1e5:
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if math.Abs(v) >= 1e3 && math.Abs(v) < 1e4 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if math.Abs(v) >= 1e4 || math.Abs(v) < 1e-2 {
+		// Paper style: 2·10^9, 5·10^6, 10^8.
+		exp := int(math.Floor(math.Log10(math.Abs(v))))
+		mant := v / math.Pow(10, float64(exp))
+		// Absorb rounding (e.g. 9.9999): renormalize.
+		if math.Abs(mant) >= 10 {
+			mant /= 10
+			exp++
+		}
+		ms := fmt.Sprintf("%.3g", mant)
+		if ms == "1" {
+			return fmt.Sprintf("10^%d", exp)
+		}
+		if ms == "-1" {
+			return fmt.Sprintf("-10^%d", exp)
+		}
+		return fmt.Sprintf("%s·10^%d", ms, exp)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// Ratio formats a requirement ratio with the paper's precision (one
+// decimal, "≈" hidden; NaN renders as "-").
+func Ratio(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if math.Abs(v-math.Round(v)) < 0.05 {
+		return fmt.Sprintf("%d", int(math.Round(v)))
+	}
+	return fmt.Sprintf("%.1f", v)
+}

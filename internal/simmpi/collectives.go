@@ -1,0 +1,179 @@
+package simmpi
+
+import "fmt"
+
+// The collectives below use the standard algorithms so the per-process
+// communication volume matches real MPI libraries (and the collective basis
+// functions of package pmnf):
+//
+//	Barrier    dissemination, ceil(log2 p) rounds of empty messages
+//	Bcast      binomial tree, non-roots receive m once, forward up the tree
+//	Reduce     binomial tree (mirror of Bcast)
+//	Allreduce  recursive doubling (~2·m·log2 p sent+received per rank)
+//	Allgather  ring, p-1 steps of m bytes each
+//	Alltoall   pairwise exchange, p-1 rounds
+//
+// Every collective runs inside an "MPI_<Name>" profiler region so that the
+// communication volume is attributed to the application call path that
+// issued it, like Score-P does.
+
+// Barrier blocks until every rank has entered it.
+func (p *Proc) Barrier() {
+	p.Prof.InRegion("MPI_Barrier", func() {
+		for k := 1; k < p.size; k <<= 1 {
+			dst := (p.rank + k) % p.size
+			src := (p.rank - k + p.size) % p.size
+			p.Send(dst, nil)
+			p.Recv(src)
+		}
+	})
+}
+
+// Bcast distributes root's data to every rank. All ranks must pass a slice
+// of the same length; the received values are written into data, which is
+// also returned.
+func (p *Proc) Bcast(root int, data []float64) []float64 {
+	if root < 0 || root >= p.size {
+		panic(fmt.Sprintf("simmpi: Bcast with invalid root %d", root))
+	}
+	p.Prof.InRegion("MPI_Bcast", func() {
+		vrank := (p.rank - root + p.size) % p.size
+		// Receive from the parent (except the root itself).
+		if vrank != 0 {
+			mask := 1
+			for mask < p.size {
+				if vrank&mask != 0 {
+					parent := ((vrank - mask) + root) % p.size
+					copy(data, p.Recv(parent))
+					break
+				}
+				mask <<= 1
+			}
+			// Forward to children below the found mask.
+			for mask >>= 1; mask > 0; mask >>= 1 {
+				if vrank+mask < p.size && vrank&mask == 0 {
+					child := (vrank + mask + root) % p.size
+					p.Send(child, data)
+				}
+			}
+		} else {
+			mask := 1
+			for mask < p.size {
+				mask <<= 1
+			}
+			for mask >>= 1; mask > 0; mask >>= 1 {
+				if vrank+mask < p.size {
+					child := (vrank + mask + root) % p.size
+					p.Send(child, data)
+				}
+			}
+		}
+	})
+	return data
+}
+
+// Reduce combines data element-wise across ranks with op; the result is
+// valid on root (returned there; other ranks receive nil).
+func (p *Proc) Reduce(root int, data []float64, op Op) []float64 {
+	if root < 0 || root >= p.size {
+		panic(fmt.Sprintf("simmpi: Reduce with invalid root %d", root))
+	}
+	var out []float64
+	p.Prof.InRegion("MPI_Reduce", func() {
+		acc := append([]float64(nil), data...)
+		vrank := (p.rank - root + p.size) % p.size
+		mask := 1
+		for mask < p.size {
+			if vrank&mask != 0 {
+				parent := ((vrank &^ mask) + root) % p.size
+				p.Send(parent, acc)
+				acc = nil
+				break
+			}
+			peer := vrank | mask
+			if peer < p.size {
+				op.apply(acc, p.Recv((peer+root)%p.size))
+			}
+			mask <<= 1
+		}
+		if p.rank == root {
+			out = acc
+		}
+	})
+	return out
+}
+
+// Allreduce combines data element-wise across all ranks with op and returns
+// the result on every rank. It uses recursive doubling with the standard
+// pre/post exchange for non-power-of-two sizes.
+func (p *Proc) Allreduce(data []float64, op Op) []float64 {
+	var out []float64
+	p.Prof.InRegion("MPI_Allreduce", func() {
+		acc := append([]float64(nil), data...)
+		p2 := 1
+		for p2*2 <= p.size {
+			p2 *= 2
+		}
+		extra := p.size - p2
+		// Fold the extra ranks into the power-of-two group.
+		if p.rank >= p2 {
+			p.Send(p.rank-p2, acc)
+			acc = p.Recv(p.rank - p2) // final result arrives afterwards
+			out = acc
+			return
+		}
+		if p.rank < extra {
+			op.apply(acc, p.Recv(p.rank+p2))
+		}
+		// Recursive doubling among the first p2 ranks.
+		for mask := 1; mask < p2; mask <<= 1 {
+			peer := p.rank ^ mask
+			recv := p.SendRecv(peer, acc, peer)
+			op.apply(acc, recv)
+		}
+		if p.rank < extra {
+			p.Send(p.rank+p2, acc)
+		}
+		out = acc
+	})
+	return out
+}
+
+// Allgather collects each rank's equally sized block on every rank using a
+// ring algorithm. The result is the concatenation ordered by rank.
+func (p *Proc) Allgather(data []float64) []float64 {
+	m := len(data)
+	out := make([]float64, m*p.size)
+	p.Prof.InRegion("MPI_Allgather", func() {
+		copy(out[p.rank*m:], data)
+		right := (p.rank + 1) % p.size
+		left := (p.rank - 1 + p.size) % p.size
+		cur := p.rank
+		block := append([]float64(nil), data...)
+		for step := 1; step < p.size; step++ {
+			block = p.SendRecv(right, block, left)
+			cur = (cur - 1 + p.size) % p.size
+			copy(out[cur*m:], block)
+		}
+	})
+	return out
+}
+
+// Alltoall exchanges personalized blocks: chunks[i] goes to rank i, and the
+// returned slice holds, at position i, the block received from rank i. All
+// ranks must pass p.Size() chunks of equal length.
+func (p *Proc) Alltoall(chunks [][]float64) [][]float64 {
+	if len(chunks) != p.size {
+		panic(fmt.Sprintf("simmpi: Alltoall with %d chunks, world size %d", len(chunks), p.size))
+	}
+	out := make([][]float64, p.size)
+	p.Prof.InRegion("MPI_Alltoall", func() {
+		out[p.rank] = append([]float64(nil), chunks[p.rank]...)
+		for step := 1; step < p.size; step++ {
+			dst := (p.rank + step) % p.size
+			src := (p.rank - step + p.size) % p.size
+			out[src] = p.SendRecv(dst, chunks[dst], src)
+		}
+	})
+	return out
+}

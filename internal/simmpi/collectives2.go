@@ -1,0 +1,105 @@
+package simmpi
+
+import "fmt"
+
+// Additional collectives: Gather, Scatter, ReduceScatter, and Scan. Like
+// the core set, each uses a standard algorithm so per-rank byte counts are
+// realistic, and runs inside an "MPI_<Name>" profiler region.
+
+// Gather collects each rank's equally sized block on root (linear
+// algorithm: every non-root sends one message to root). The result on root
+// is the concatenation ordered by rank; other ranks receive nil.
+func (p *Proc) Gather(root int, data []float64) []float64 {
+	if root < 0 || root >= p.size {
+		panic(fmt.Sprintf("simmpi: Gather with invalid root %d", root))
+	}
+	var out []float64
+	p.Prof.InRegion("MPI_Gather", func() {
+		if p.rank != root {
+			p.Send(root, data)
+			return
+		}
+		m := len(data)
+		out = make([]float64, m*p.size)
+		copy(out[root*m:], data)
+		for r := 0; r < p.size; r++ {
+			if r == root {
+				continue
+			}
+			block := p.Recv(r)
+			copy(out[r*m:], block)
+		}
+	})
+	return out
+}
+
+// Scatter distributes root's chunks (one per rank, equal lengths) with a
+// linear algorithm and returns the local chunk on every rank. Non-root
+// ranks pass nil chunks.
+func (p *Proc) Scatter(root int, chunks [][]float64) []float64 {
+	if root < 0 || root >= p.size {
+		panic(fmt.Sprintf("simmpi: Scatter with invalid root %d", root))
+	}
+	var out []float64
+	p.Prof.InRegion("MPI_Scatter", func() {
+		if p.rank == root {
+			if len(chunks) != p.size {
+				panic(fmt.Sprintf("simmpi: Scatter with %d chunks, world size %d", len(chunks), p.size))
+			}
+			for r := 0; r < p.size; r++ {
+				if r == root {
+					continue
+				}
+				p.Send(r, chunks[r])
+			}
+			out = append([]float64(nil), chunks[root]...)
+			return
+		}
+		out = p.Recv(root)
+	})
+	return out
+}
+
+// ReduceScatter combines data element-wise across ranks with op and
+// scatters the result block-wise: rank i receives elements
+// [i·m/p, (i+1)·m/p). len(data) must be divisible by the world size. The
+// implementation is reduce-to-root followed by scatter, matching the byte
+// volume of that standard fallback algorithm.
+func (p *Proc) ReduceScatter(data []float64, op Op) []float64 {
+	if len(data)%p.size != 0 {
+		panic(fmt.Sprintf("simmpi: ReduceScatter length %d not divisible by world size %d", len(data), p.size))
+	}
+	var out []float64
+	p.Prof.InRegion("MPI_Reduce_scatter", func() {
+		full := p.Reduce(0, data, op)
+		m := len(data) / p.size
+		var chunks [][]float64
+		if p.rank == 0 {
+			chunks = make([][]float64, p.size)
+			for r := 0; r < p.size; r++ {
+				chunks[r] = full[r*m : (r+1)*m]
+			}
+		}
+		out = p.Scatter(0, chunks)
+	})
+	return out
+}
+
+// Scan computes the inclusive prefix reduction: rank i receives the
+// element-wise combination of the data of ranks 0..i. The implementation is
+// the linear chain algorithm.
+func (p *Proc) Scan(data []float64, op Op) []float64 {
+	acc := append([]float64(nil), data...)
+	p.Prof.InRegion("MPI_Scan", func() {
+		if p.rank > 0 {
+			prev := p.Recv(p.rank - 1)
+			tmp := append([]float64(nil), prev...)
+			op.apply(tmp, acc)
+			acc = tmp
+		}
+		if p.rank+1 < p.size {
+			p.Send(p.rank+1, acc)
+		}
+	})
+	return acc
+}

@@ -1,0 +1,100 @@
+package simmpi
+
+import (
+	"fmt"
+
+	"extrareq/internal/counters"
+)
+
+// Nonblocking point-to-point operations, modeled after MPI_Isend/Irecv.
+//
+// A Request is completed by Wait (or WaitAll). Implementation note: an
+// Isend tries to hand the message to the (buffered) channel immediately;
+// when the channel is full the actual transfer happens inside Wait. As a
+// consequence, message order between two ranks is the order in which the
+// transfers complete (eager sends first, deferred sends at their Wait),
+// which matches the usual halo-exchange usage — post all Isend/Irecv, then
+// WaitAll — but, unlike MPI's non-overtaking rule, is not guaranteed when
+// Wait calls are interleaved arbitrarily with blocking Sends to the same
+// destination.
+
+// Request is a pending nonblocking operation.
+type Request struct {
+	proc *Proc
+	// send fields
+	dst  int
+	data []float64
+	sent bool
+	// recv fields
+	src    int
+	isRecv bool
+	result []float64
+	done   bool
+}
+
+// Isend starts a nonblocking send to dst. The payload is copied
+// immediately, so the caller may reuse the slice. Byte counters are updated
+// at Isend time (the payload is committed to the network).
+func (p *Proc) Isend(dst int, data []float64) *Request {
+	if dst < 0 || dst >= p.size {
+		panic(fmt.Sprintf("simmpi: Isend to invalid rank %d (size %d)", dst, p.size))
+	}
+	msg := append([]float64(nil), data...)
+	nbytes := int64(len(msg) * bytesPerElem)
+	p.Counters.Add(counters.BytesSent, nbytes)
+	p.Counters.Add(counters.MsgsSent, 1)
+	p.Prof.AddMetric("bytes_sent", float64(nbytes))
+	r := &Request{proc: p, dst: dst, data: msg}
+	select {
+	case p.world.chans[p.rank][dst] <- msg:
+		r.sent = true
+		r.done = true
+	default:
+		// Channel full: the transfer completes in Wait.
+	}
+	return r
+}
+
+// Irecv starts a nonblocking receive from src. The message is delivered by
+// Wait.
+func (p *Proc) Irecv(src int) *Request {
+	if src < 0 || src >= p.size {
+		panic(fmt.Sprintf("simmpi: Irecv from invalid rank %d (size %d)", src, p.size))
+	}
+	return &Request{proc: p, src: src, isRecv: true}
+}
+
+// Wait completes the operation. For receives it returns the message; for
+// sends it returns nil. Wait is idempotent.
+func (r *Request) Wait() []float64 {
+	if r.done {
+		return r.result
+	}
+	p := r.proc
+	if r.isRecv {
+		msg := <-p.world.chans[r.src][p.rank]
+		nbytes := int64(len(msg) * bytesPerElem)
+		p.Counters.Add(counters.BytesRecv, nbytes)
+		p.Counters.Add(counters.MsgsRecv, 1)
+		p.Prof.AddMetric("bytes_recv", float64(nbytes))
+		r.result = msg
+		r.done = true
+		return msg
+	}
+	if !r.sent {
+		p.world.chans[p.rank][r.dst] <- r.data
+		r.sent = true
+	}
+	r.done = true
+	return nil
+}
+
+// WaitAll completes every request and returns the received messages in
+// request order (nil entries for sends).
+func WaitAll(reqs ...*Request) [][]float64 {
+	out := make([][]float64, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}

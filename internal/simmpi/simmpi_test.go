@@ -1,0 +1,328 @@
+package simmpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"extrareq/internal/counters"
+)
+
+func TestRingSendRecv(t *testing.T) {
+	const size = 5
+	results, err := Run(size, func(p *Proc) error {
+		right := (p.Rank() + 1) % p.Size()
+		left := (p.Rank() - 1 + p.Size()) % p.Size()
+		got := p.SendRecv(right, []float64{float64(p.Rank())}, left)
+		if got[0] != float64(left) {
+			return fmt.Errorf("rank %d received %v, want %d", p.Rank(), got, left)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Counters.Value(counters.BytesSent) != 8 || r.Counters.Value(counters.BytesRecv) != 8 {
+			t.Errorf("rank %d bytes sent/recv = %d/%d, want 8/8", r.Rank,
+				r.Counters.Value(counters.BytesSent), r.Counters.Value(counters.BytesRecv))
+		}
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	_, err := Run(2, func(p *Proc) error {
+		if p.Rank() == 0 {
+			buf := []float64{1}
+			p.Send(1, buf)
+			buf[0] = 99 // must not affect the message in flight
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+		if got := p.Recv(0); got[0] != 1 {
+			return fmt.Errorf("received %v, want [1]", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSumAllSizes(t *testing.T) {
+	for size := 1; size <= 9; size++ {
+		size := size
+		t.Run(fmt.Sprintf("p%d", size), func(t *testing.T) {
+			want := float64(size*(size-1)) / 2
+			_, err := Run(size, func(p *Proc) error {
+				got := p.Allreduce([]float64{float64(p.Rank()), 1}, Sum)
+				if got[0] != want || got[1] != float64(size) {
+					return fmt.Errorf("rank %d allreduce = %v, want [%g %d]", p.Rank(), got, want, size)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	_, err := Run(6, func(p *Proc) error {
+		mx := p.Allreduce([]float64{float64(p.Rank())}, Max)
+		mn := p.Allreduce([]float64{float64(p.Rank())}, Min)
+		if mx[0] != 5 || mn[0] != 0 {
+			return fmt.Errorf("max/min = %g/%g, want 5/0", mx[0], mn[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceByteVolume(t *testing.T) {
+	// For a power-of-two world, recursive doubling sends and receives
+	// m·log2(p) payload bytes per rank.
+	const size = 8
+	const elems = 100
+	results, err := Run(size, func(p *Proc) error {
+		p.Allreduce(make([]float64, elems), Sum)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := int64(elems * 8 * 3) // log2(8) = 3 rounds
+	for _, r := range results {
+		if got := r.Counters.Value(counters.BytesSent); got != wantBytes {
+			t.Errorf("rank %d sent %d bytes, want %d", r.Rank, got, wantBytes)
+		}
+		if got := r.Counters.Value(counters.BytesRecv); got != wantBytes {
+			t.Errorf("rank %d received %d bytes, want %d", r.Rank, got, wantBytes)
+		}
+	}
+}
+
+func TestBcastAllSizesAndRoots(t *testing.T) {
+	for size := 1; size <= 8; size++ {
+		for root := 0; root < size; root++ {
+			size, root := size, root
+			t.Run(fmt.Sprintf("p%d_root%d", size, root), func(t *testing.T) {
+				_, err := Run(size, func(p *Proc) error {
+					data := make([]float64, 3)
+					if p.Rank() == root {
+						data = []float64{7, 8, 9}
+					}
+					got := p.Bcast(root, data)
+					if got[0] != 7 || got[1] != 8 || got[2] != 9 {
+						return fmt.Errorf("rank %d got %v", p.Rank(), got)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	for size := 1; size <= 8; size++ {
+		size := size
+		t.Run(fmt.Sprintf("p%d", size), func(t *testing.T) {
+			want := float64(size * (size - 1) / 2)
+			_, err := Run(size, func(p *Proc) error {
+				got := p.Reduce(0, []float64{float64(p.Rank())}, Sum)
+				if p.Rank() == 0 {
+					if got == nil || got[0] != want {
+						return fmt.Errorf("root reduce = %v, want [%g]", got, want)
+					}
+				} else if got != nil {
+					return fmt.Errorf("non-root rank %d got %v, want nil", p.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	const size = 7
+	_, err := Run(size, func(p *Proc) error {
+		got := p.Allgather([]float64{float64(p.Rank() * 10), float64(p.Rank()*10 + 1)})
+		if len(got) != size*2 {
+			return fmt.Errorf("length %d, want %d", len(got), size*2)
+		}
+		for r := 0; r < size; r++ {
+			if got[2*r] != float64(r*10) || got[2*r+1] != float64(r*10+1) {
+				return fmt.Errorf("rank %d block %d = %v", p.Rank(), r, got[2*r:2*r+2])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const size = 5
+	_, err := Run(size, func(p *Proc) error {
+		chunks := make([][]float64, size)
+		for d := 0; d < size; d++ {
+			chunks[d] = []float64{float64(p.Rank()*100 + d)}
+		}
+		got := p.Alltoall(chunks)
+		for s := 0; s < size; s++ {
+			want := float64(s*100 + p.Rank())
+			if got[s][0] != want {
+				return fmt.Errorf("rank %d from %d = %v, want %g", p.Rank(), s, got[s], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallByteVolume(t *testing.T) {
+	const size, elems = 4, 10
+	results, err := Run(size, func(p *Proc) error {
+		chunks := make([][]float64, size)
+		for d := range chunks {
+			chunks[d] = make([]float64, elems)
+		}
+		p.Alltoall(chunks)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64((size - 1) * elems * 8) // p-1 partners, own block stays local
+	for _, r := range results {
+		if got := r.Counters.Value(counters.BytesSent); got != want {
+			t.Errorf("rank %d sent %d, want %d", r.Rank, got, want)
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	// All ranks increment a per-rank flag before the barrier; after the
+	// barrier every rank must observe every flag set.
+	const size = 6
+	flags := make([]int32, size)
+	_, err := Run(size, func(p *Proc) error {
+		flags[p.Rank()] = 1 // each slot written by exactly one rank
+		p.Barrier()
+		for r, f := range flags {
+			if f != 1 {
+				return fmt.Errorf("rank %d: flag %d unset after barrier", p.Rank(), r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilerAttribution(t *testing.T) {
+	results, err := Run(4, func(p *Proc) error {
+		p.Prof.InRegion("solver", func() {
+			p.Allreduce([]float64{1, 2}, Sum)
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		got := r.Profile.PathMetric("main/solver/MPI_Allreduce", "bytes_sent")
+		if got != 2*8*2 { // 2 elems · 8 bytes · log2(4) rounds
+			t.Errorf("rank %d attributed %g bytes to allreduce path, want 32", r.Rank, got)
+		}
+	}
+}
+
+func TestPanicCaptured(t *testing.T) {
+	results, err := Run(2, func(p *Proc) error {
+		if p.Rank() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error from panicking rank")
+	}
+	if results[1].Err == nil {
+		t.Fatal("rank 1 error not captured")
+	}
+}
+
+func TestBodyErrorPropagates(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	_, err := Run(3, func(p *Proc) error {
+		if p.Rank() == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestDeadlockTimeout(t *testing.T) {
+	_, err := RunOpt(2, &Options{Timeout: 100 * time.Millisecond}, func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Recv(1) // never sent: deadlock
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestInvalidWorldSize(t *testing.T) {
+	if _, err := Run(0, func(p *Proc) error { return nil }); err == nil {
+		t.Fatal("expected error for size 0")
+	}
+}
+
+func TestInvalidRankPanics(t *testing.T) {
+	_, err := Run(2, func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Send(5, nil)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected captured panic for invalid destination")
+	}
+}
+
+func TestOpApply(t *testing.T) {
+	dst := []float64{1, 5, 3}
+	Sum.apply(dst, []float64{1, 1, 1})
+	if dst[0] != 2 || dst[1] != 6 || dst[2] != 4 {
+		t.Errorf("Sum.apply = %v", dst)
+	}
+	Max.apply(dst, []float64{0, 100, 4})
+	if dst[1] != 100 || dst[2] != 4 {
+		t.Errorf("Max.apply = %v", dst)
+	}
+	Min.apply(dst, []float64{math.Inf(-1), 0, 0})
+	if !math.IsInf(dst[0], -1) {
+		t.Errorf("Min.apply = %v", dst)
+	}
+}

@@ -1,0 +1,203 @@
+// Package stats provides the statistical machinery used for model selection
+// and model-quality assessment: SMAPE and RSS cost functions, coefficient of
+// determination, leave-one-out and k-fold cross-validation, and the
+// relative-error classification that drives the paper's Figure 3.
+package stats
+
+import (
+	"errors"
+	"math"
+
+	"extrareq/internal/mathx"
+)
+
+// Predictor maps an input point (one value per model parameter) to a
+// predicted metric value. Modeling code adapts fitted models to this
+// interface for evaluation purposes.
+type Predictor func(x []float64) float64
+
+// Sample is one measurement: an input point and the observed value.
+type Sample struct {
+	X []float64
+	Y float64
+}
+
+// SMAPE returns the symmetric mean absolute percentage error (in percent,
+// range [0,200]) between predictions and observations. This is the cost
+// function Extra-P uses for hypothesis comparison. Pairs where both values
+// are zero contribute zero error.
+func SMAPE(pred, obs []float64) float64 {
+	if len(pred) != len(obs) || len(pred) == 0 {
+		return math.NaN()
+	}
+	k := mathx.NewKahan()
+	for i := range pred {
+		ap, ao := math.Abs(pred[i]), math.Abs(obs[i])
+		scale := math.Max(ap, ao)
+		if scale == 0 {
+			continue
+		}
+		num := math.Abs(pred[i] - obs[i])
+		den := ap + ao
+		if scale > math.MaxFloat64/4 {
+			// Normalize by the larger magnitude so the term cannot
+			// overflow even for values near MaxFloat64.
+			num = math.Abs(pred[i]/scale - obs[i]/scale)
+			den = ap/scale + ao/scale
+		}
+		k.Add(math.Min(200*num/den, 200))
+	}
+	return k.Sum() / float64(len(pred))
+}
+
+// RSS returns the residual sum of squares.
+func RSS(pred, obs []float64) float64 {
+	if len(pred) != len(obs) {
+		return math.NaN()
+	}
+	k := mathx.NewKahan()
+	for i := range pred {
+		d := pred[i] - obs[i]
+		k.Add(d * d)
+	}
+	return k.Sum()
+}
+
+// RSquared returns the coefficient of determination of the predictions. A
+// perfect fit yields 1; a fit no better than the mean yields 0 (can be
+// negative for worse-than-mean fits).
+func RSquared(pred, obs []float64) float64 {
+	if len(obs) < 2 {
+		return math.NaN()
+	}
+	mean := mathx.Mean(obs)
+	ssTot := mathx.NewKahan()
+	for _, y := range obs {
+		d := y - mean
+		ssTot.Add(d * d)
+	}
+	tot := ssTot.Sum()
+	if tot == 0 {
+		// Constant observations: perfect iff predictions match exactly.
+		if RSS(pred, obs) == 0 {
+			return 1
+		}
+		return math.Inf(-1)
+	}
+	return 1 - RSS(pred, obs)/tot
+}
+
+// RelativeErrors returns |pred-obs|/|obs| per sample, as fractions.
+// Observations equal to zero yield 0 when the prediction is also zero and
+// +Inf otherwise.
+func RelativeErrors(pred, obs []float64) []float64 {
+	out := make([]float64, len(obs))
+	for i := range obs {
+		switch {
+		case obs[i] == 0 && pred[i] == 0:
+			out[i] = 0
+		case obs[i] == 0:
+			out[i] = math.Inf(1)
+		default:
+			out[i] = math.Abs(pred[i]-obs[i]) / math.Abs(obs[i])
+		}
+	}
+	return out
+}
+
+// Fitter fits a predictor to the given samples. Cross-validation calls it
+// once per fold with the training subset.
+type Fitter func(train []Sample) (Predictor, error)
+
+// ErrTooFewSamples indicates cross-validation was asked to run with fewer
+// samples than folds.
+var ErrTooFewSamples = errors.New("stats: too few samples for requested folds")
+
+// CrossValidateSMAPE estimates out-of-sample SMAPE by k-fold cross
+// validation. Folds are contiguous blocks of the (caller-ordered) samples;
+// with k == len(samples) this is leave-one-out. The fitter is invoked once
+// per fold; folds whose fit fails are skipped, and an error is returned only
+// if every fold fails.
+func CrossValidateSMAPE(samples []Sample, k int, fit Fitter) (float64, error) {
+	n := len(samples)
+	if k < 2 || n < k {
+		return math.NaN(), ErrTooFewSamples
+	}
+	var preds, obs []float64
+	var lastErr error
+	ok := 0
+	for fold := 0; fold < k; fold++ {
+		lo := fold * n / k
+		hi := (fold + 1) * n / k
+		train := make([]Sample, 0, n-(hi-lo))
+		train = append(train, samples[:lo]...)
+		train = append(train, samples[hi:]...)
+		p, err := fit(train)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ok++
+		for _, s := range samples[lo:hi] {
+			preds = append(preds, p(s.X))
+			obs = append(obs, s.Y)
+		}
+	}
+	if ok == 0 {
+		return math.NaN(), lastErr
+	}
+	return SMAPE(preds, obs), nil
+}
+
+// LeaveOneOutSMAPE is CrossValidateSMAPE with one fold per sample.
+func LeaveOneOutSMAPE(samples []Sample, fit Fitter) (float64, error) {
+	return CrossValidateSMAPE(samples, len(samples), fit)
+}
+
+// ErrorClass is one bucket of the Figure 3 relative-error classification.
+type ErrorClass struct {
+	Label string  // e.g. "<5%"
+	Upper float64 // exclusive upper bound as a fraction; +Inf for the last class
+	Count int64
+}
+
+// Figure3Edges are the percentile relative-error classes used by the
+// paper's Figure 3 histogram.
+var Figure3Edges = []float64{0.05, 0.10, 0.15, 0.20, math.Inf(1)}
+
+// Figure3Labels are display labels matching Figure3Edges.
+var Figure3Labels = []string{"<5%", "5-10%", "10-15%", "15-20%", ">20%"}
+
+// ClassifyRelativeErrors buckets relative errors (fractions) into the
+// Figure 3 classes.
+func ClassifyRelativeErrors(relErrs []float64) []ErrorClass {
+	classes := make([]ErrorClass, len(Figure3Edges))
+	for i := range classes {
+		classes[i] = ErrorClass{Label: Figure3Labels[i], Upper: Figure3Edges[i]}
+	}
+	for _, e := range relErrs {
+		for i := range classes {
+			if e < classes[i].Upper || math.IsInf(classes[i].Upper, 1) {
+				classes[i].Count++
+				break
+			}
+		}
+	}
+	return classes
+}
+
+// FractionBelow returns the fraction of classified observations in classes
+// whose upper bound is <= limit (a fraction, e.g. 0.05 for "<5%").
+func FractionBelow(classes []ErrorClass, limit float64) float64 {
+	var in, total int64
+	for _, c := range classes {
+		total += c.Count
+		if c.Upper <= limit {
+			in += c.Count
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(in) / float64(total)
+}

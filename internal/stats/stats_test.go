@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"extrareq/internal/mathx"
+)
+
+func TestSMAPE(t *testing.T) {
+	if got := SMAPE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Errorf("perfect SMAPE = %g, want 0", got)
+	}
+	// One prediction 3 vs obs 1: 200*2/4 = 100; other exact: 0 -> mean 50.
+	if got := SMAPE([]float64{3, 2}, []float64{1, 2}); got != 50 {
+		t.Errorf("SMAPE = %g, want 50", got)
+	}
+	if got := SMAPE([]float64{0}, []float64{0}); got != 0 {
+		t.Errorf("zero-pair SMAPE = %g, want 0", got)
+	}
+	if !math.IsNaN(SMAPE(nil, nil)) {
+		t.Error("empty SMAPE should be NaN")
+	}
+	if !math.IsNaN(SMAPE([]float64{1}, []float64{1, 2})) {
+		t.Error("mismatched lengths should be NaN")
+	}
+}
+
+func TestSMAPEBounded(t *testing.T) {
+	f := func(pred, obs []float64) bool {
+		n := len(pred)
+		if len(obs) < n {
+			n = len(obs)
+		}
+		if n == 0 {
+			return true
+		}
+		p, o := pred[:n], obs[:n]
+		for i := 0; i < n; i++ {
+			if math.IsNaN(p[i]) || math.IsInf(p[i], 0) || math.IsNaN(o[i]) || math.IsInf(o[i], 0) {
+				return true
+			}
+		}
+		s := SMAPE(p, o)
+		return s >= 0 && s <= 200
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSSAndRSquared(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	if got := RSS(obs, obs); got != 0 {
+		t.Errorf("RSS of identical = %g", got)
+	}
+	if got := RSquared(obs, obs); got != 1 {
+		t.Errorf("R^2 of perfect fit = %g, want 1", got)
+	}
+	mean := mathx.Mean(obs)
+	flat := []float64{mean, mean, mean, mean}
+	if got := RSquared(flat, obs); math.Abs(got) > 1e-12 {
+		t.Errorf("R^2 of mean predictor = %g, want 0", got)
+	}
+	// Constant observations.
+	if got := RSquared([]float64{5, 5}, []float64{5, 5}); got != 1 {
+		t.Errorf("constant obs perfect fit R^2 = %g, want 1", got)
+	}
+	if got := RSquared([]float64{5, 6}, []float64{5, 5}); !math.IsInf(got, -1) {
+		t.Errorf("constant obs imperfect fit R^2 = %g, want -Inf", got)
+	}
+}
+
+func TestRelativeErrors(t *testing.T) {
+	res := RelativeErrors([]float64{11, 0, 1}, []float64{10, 0, 0})
+	if !mathx.AlmostEqual(res[0], 0.1, 1e-12) {
+		t.Errorf("rel err = %g, want 0.1", res[0])
+	}
+	if res[1] != 0 {
+		t.Errorf("0/0 rel err = %g, want 0", res[1])
+	}
+	if !math.IsInf(res[2], 1) {
+		t.Errorf("x/0 rel err = %g, want +Inf", res[2])
+	}
+}
+
+func TestLeaveOneOutSMAPERecoversLinearModel(t *testing.T) {
+	// Data from an exact line: the linear fitter must have ~0 LOO error.
+	var samples []Sample
+	for i := 1; i <= 6; i++ {
+		x := float64(i)
+		samples = append(samples, Sample{X: []float64{x}, Y: 2*x + 1})
+	}
+	fitLine := func(train []Sample) (Predictor, error) {
+		a := mathx.NewMatrix(len(train), 2)
+		b := make([]float64, len(train))
+		for i, s := range train {
+			a.Set(i, 0, 1)
+			a.Set(i, 1, s.X[0])
+			b[i] = s.Y
+		}
+		c, err := mathx.LeastSquares(a, b)
+		if err != nil {
+			return nil, err
+		}
+		return func(x []float64) float64 { return c[0] + c[1]*x[0] }, nil
+	}
+	got, err := LeaveOneOutSMAPE(samples, fitLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-9 {
+		t.Errorf("LOO SMAPE = %g, want ~0", got)
+	}
+}
+
+func TestCrossValidatePrefersTrueModel(t *testing.T) {
+	// Quadratic data: a quadratic fitter should beat a constant fitter.
+	var samples []Sample
+	for i := 1; i <= 10; i++ {
+		x := float64(i)
+		samples = append(samples, Sample{X: []float64{x}, Y: x * x})
+	}
+	fitConst := func(train []Sample) (Predictor, error) {
+		var ys []float64
+		for _, s := range train {
+			ys = append(ys, s.Y)
+		}
+		m := mathx.Mean(ys)
+		return func([]float64) float64 { return m }, nil
+	}
+	fitQuad := func(train []Sample) (Predictor, error) {
+		a := mathx.NewMatrix(len(train), 1)
+		b := make([]float64, len(train))
+		for i, s := range train {
+			a.Set(i, 0, s.X[0]*s.X[0])
+			b[i] = s.Y
+		}
+		c, err := mathx.LeastSquares(a, b)
+		if err != nil {
+			return nil, err
+		}
+		return func(x []float64) float64 { return c[0] * x[0] * x[0] }, nil
+	}
+	sc, err := CrossValidateSMAPE(samples, 5, fitConst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := CrossValidateSMAPE(samples, 5, fitQuad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq >= sc {
+		t.Errorf("quadratic CV SMAPE %g should beat constant %g", sq, sc)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	s := []Sample{{X: []float64{1}, Y: 1}}
+	if _, err := CrossValidateSMAPE(s, 2, nil); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("expected ErrTooFewSamples, got %v", err)
+	}
+	many := []Sample{{X: []float64{1}, Y: 1}, {X: []float64{2}, Y: 2}}
+	failing := func([]Sample) (Predictor, error) { return nil, errors.New("boom") }
+	if _, err := CrossValidateSMAPE(many, 2, failing); err == nil {
+		t.Error("expected error when all folds fail")
+	}
+}
+
+func TestCrossValidateSkipsFailingFolds(t *testing.T) {
+	samples := []Sample{
+		{X: []float64{1}, Y: 1}, {X: []float64{2}, Y: 2},
+		{X: []float64{3}, Y: 3}, {X: []float64{4}, Y: 4},
+	}
+	calls := 0
+	fit := func(train []Sample) (Predictor, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("first fold fails")
+		}
+		return func(x []float64) float64 { return x[0] }, nil
+	}
+	got, err := CrossValidateSMAPE(samples, 4, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-12 {
+		t.Errorf("SMAPE = %g, want 0 from surviving folds", got)
+	}
+}
+
+func TestClassifyRelativeErrors(t *testing.T) {
+	errsIn := []float64{0.01, 0.04, 0.07, 0.12, 0.18, 0.5, math.Inf(1)}
+	classes := ClassifyRelativeErrors(errsIn)
+	wantCounts := []int64{2, 1, 1, 1, 2}
+	for i, w := range wantCounts {
+		if classes[i].Count != w {
+			t.Errorf("class %q count = %d, want %d", classes[i].Label, classes[i].Count, w)
+		}
+	}
+	if got := FractionBelow(classes, 0.05); !mathx.AlmostEqual(got, 2.0/7.0, 1e-12) {
+		t.Errorf("FractionBelow(0.05) = %g", got)
+	}
+	if got := FractionBelow(classes, 0.20); !mathx.AlmostEqual(got, 5.0/7.0, 1e-12) {
+		t.Errorf("FractionBelow(0.20) = %g", got)
+	}
+	if got := FractionBelow(nil, 0.05); got != 0 {
+		t.Errorf("empty FractionBelow = %g, want 0", got)
+	}
+}

@@ -1,0 +1,121 @@
+// Package trace is the memory-access tracing layer of the Threadspotter
+// substitute. Instrumented kernels report each memory access (an address
+// plus the instruction group performing it) to a Recorder; the BurstSampler
+// reproduces Threadspotter's burst-sampling behaviour, forwarding accesses
+// during sampling bursts and dropping them in between to bound overhead,
+// while still counting every access per instruction group so that total
+// memory-access counts can be apportioned to groups the way the paper
+// combines Threadspotter samples with PAPI load/store totals (§II-B).
+package trace
+
+// Recorder consumes memory accesses. Implementations are process-local and
+// not safe for concurrent use.
+type Recorder interface {
+	// Record reports one access to addr by the named instruction group.
+	Record(addr uint64, group string)
+}
+
+// Buffer is a Recorder that retains every access, useful for tests and for
+// exact (non-sampled) analysis.
+type Buffer struct {
+	Addrs  []uint64
+	Groups []string
+}
+
+// Record appends the access.
+func (b *Buffer) Record(addr uint64, group string) {
+	b.Addrs = append(b.Addrs, addr)
+	b.Groups = append(b.Groups, group)
+}
+
+// Len returns the number of recorded accesses.
+func (b *Buffer) Len() int { return len(b.Addrs) }
+
+// Replay feeds every buffered access into r, in order.
+func (b *Buffer) Replay(r Recorder) {
+	for i, a := range b.Addrs {
+		r.Record(a, b.Groups[i])
+	}
+}
+
+// BurstSampler forwards accesses to an inner Recorder in bursts: BurstLen
+// consecutive accesses are forwarded, then GapLen accesses are dropped, and
+// so on. Regardless of sampling, it counts every access globally and per
+// instruction group.
+type BurstSampler struct {
+	inner    Recorder
+	burstLen int64
+	gapLen   int64
+
+	pos     int64 // position within the burst+gap period
+	total   int64
+	sampled int64
+	groups  map[string]int64 // per-group *sampled* access counts
+	allSeen map[string]int64 // per-group total access counts
+}
+
+// NewBurstSampler wraps inner with burst sampling. burstLen must be
+// positive; gapLen may be zero for exhaustive tracing.
+func NewBurstSampler(inner Recorder, burstLen, gapLen int64) *BurstSampler {
+	if burstLen <= 0 {
+		panic("trace: burstLen must be positive")
+	}
+	if gapLen < 0 {
+		panic("trace: gapLen must be nonnegative")
+	}
+	return &BurstSampler{
+		inner:    inner,
+		burstLen: burstLen,
+		gapLen:   gapLen,
+		groups:   map[string]int64{},
+		allSeen:  map[string]int64{},
+	}
+}
+
+// Record counts the access and forwards it to the inner recorder when inside
+// a sampling burst.
+func (s *BurstSampler) Record(addr uint64, group string) {
+	s.total++
+	s.allSeen[group]++
+	inBurst := s.pos < s.burstLen
+	s.pos++
+	if s.pos == s.burstLen+s.gapLen {
+		s.pos = 0
+	}
+	if inBurst {
+		s.sampled++
+		s.groups[group]++
+		s.inner.Record(addr, group)
+	}
+}
+
+// Total returns the number of accesses seen (sampled or not).
+func (s *BurstSampler) Total() int64 { return s.total }
+
+// Sampled returns the number of accesses forwarded to the inner recorder.
+func (s *BurstSampler) Sampled() int64 { return s.sampled }
+
+// SampledByGroup returns the per-group sampled access counts.
+func (s *BurstSampler) SampledByGroup() map[string]int64 {
+	out := make(map[string]int64, len(s.groups))
+	for k, v := range s.groups {
+		out[k] = v
+	}
+	return out
+}
+
+// EstimateGroupAccesses apportions an externally measured total access
+// count (e.g. PAPI loads+stores for the whole program) to instruction
+// groups according to the ratio of samples collected per group, exactly the
+// estimation step described in §II-B of the paper. It returns nil when no
+// samples were collected.
+func (s *BurstSampler) EstimateGroupAccesses(papiTotal int64) map[string]int64 {
+	if s.sampled == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.groups))
+	for g, c := range s.groups {
+		out[g] = int64(float64(papiTotal) * float64(c) / float64(s.sampled))
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferRecordsAll(t *testing.T) {
+	var b Buffer
+	b.Record(1, "a")
+	b.Record(2, "b")
+	if b.Len() != 2 || b.Addrs[1] != 2 || b.Groups[0] != "a" {
+		t.Fatalf("buffer contents wrong: %+v", b)
+	}
+	var replayed Buffer
+	b.Replay(&replayed)
+	if replayed.Len() != 2 || replayed.Addrs[0] != 1 {
+		t.Fatal("replay did not reproduce the trace")
+	}
+}
+
+func TestBurstSamplerPattern(t *testing.T) {
+	var inner Buffer
+	s := NewBurstSampler(&inner, 3, 2)
+	for i := 0; i < 10; i++ {
+		s.Record(uint64(i), "g")
+	}
+	// Pattern: indices 0,1,2 sampled; 3,4 dropped; 5,6,7 sampled; 8,9 dropped.
+	want := []uint64{0, 1, 2, 5, 6, 7}
+	if inner.Len() != len(want) {
+		t.Fatalf("sampled %d accesses, want %d", inner.Len(), len(want))
+	}
+	for i, w := range want {
+		if inner.Addrs[i] != w {
+			t.Errorf("sample %d = %d, want %d", i, inner.Addrs[i], w)
+		}
+	}
+	if s.Total() != 10 || s.Sampled() != 6 {
+		t.Errorf("total=%d sampled=%d, want 10/6", s.Total(), s.Sampled())
+	}
+}
+
+func TestBurstSamplerZeroGapIsExhaustive(t *testing.T) {
+	var inner Buffer
+	s := NewBurstSampler(&inner, 4, 0)
+	for i := 0; i < 100; i++ {
+		s.Record(uint64(i), "g")
+	}
+	if inner.Len() != 100 {
+		t.Fatalf("sampled %d, want all 100", inner.Len())
+	}
+}
+
+func TestBurstSamplerValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero burst", func() { NewBurstSampler(&Buffer{}, 0, 5) })
+	mustPanic("negative gap", func() { NewBurstSampler(&Buffer{}, 5, -1) })
+}
+
+func TestSampledByGroup(t *testing.T) {
+	var inner Buffer
+	s := NewBurstSampler(&inner, 1, 1)
+	for i := 0; i < 10; i++ {
+		g := "even"
+		if i%2 == 1 {
+			g = "odd"
+		}
+		s.Record(uint64(i), g)
+	}
+	// Burst 1/gap 1 samples indices 0,2,4,6,8 - all "even".
+	byGroup := s.SampledByGroup()
+	if byGroup["even"] != 5 || byGroup["odd"] != 0 {
+		t.Fatalf("byGroup = %v, want even:5 odd:0", byGroup)
+	}
+}
+
+func TestEstimateGroupAccesses(t *testing.T) {
+	var inner Buffer
+	s := NewBurstSampler(&inner, 2, 2)
+	// ~3:1 access ratio between groups a and b, randomized so the group
+	// pattern cannot alias with the burst period.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 4000; i++ {
+		if rng.Intn(4) == 3 {
+			s.Record(uint64(i), "b")
+		} else {
+			s.Record(uint64(i), "a")
+		}
+	}
+	est := s.EstimateGroupAccesses(1_000_000)
+	total := est["a"] + est["b"]
+	if total < 990_000 || total > 1_010_000 {
+		t.Fatalf("estimates %v do not sum to ~1e6", est)
+	}
+	ratio := float64(est["a"]) / float64(est["b"])
+	if ratio < 2.0 || ratio > 4.0 {
+		t.Errorf("a:b ratio = %g, want ~3", ratio)
+	}
+}
+
+func TestEstimateWithNoSamples(t *testing.T) {
+	s := NewBurstSampler(&Buffer{}, 1, 0)
+	if got := s.EstimateGroupAccesses(100); got != nil {
+		t.Fatalf("expected nil estimate, got %v", got)
+	}
+}
+
+// Property: sampled count equals ceil-pattern count for any burst/gap.
+func TestBurstSamplerCountProperty(t *testing.T) {
+	f := func(burst, gap uint8, n uint16) bool {
+		b := int64(burst%20) + 1
+		g := int64(gap % 20)
+		var inner Buffer
+		s := NewBurstSampler(&inner, b, g)
+		total := int64(n % 2000)
+		for i := int64(0); i < total; i++ {
+			s.Record(uint64(i), "g")
+		}
+		period := b + g
+		full := total / period
+		rem := total % period
+		want := full * b
+		if rem > b {
+			want += b
+		} else {
+			want += rem
+		}
+		return s.Sampled() == want && int64(inner.Len()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+
+	"extrareq/internal/codesign"
+	"extrareq/internal/metrics"
+	"extrareq/internal/modeling"
+	"extrareq/internal/pmnf"
+	"extrareq/internal/stats"
+)
+
+// FitResult bundles the fitted requirements models of one application with
+// their quality statistics.
+type FitResult struct {
+	App codesign.App
+	// Info holds the model-generator diagnostics per metric.
+	Info map[metrics.Metric]*modeling.ModelInfo
+}
+
+// Interval computes a bootstrap prediction interval for one metric's model
+// at (p, n), using the campaign the models were fitted from.
+func (f *FitResult) Interval(c *Campaign, m metrics.Metric, p, n, conf float64) (modeling.Interval, error) {
+	info, ok := f.Info[m]
+	if !ok {
+		return modeling.Interval{}, fmt.Errorf("workload: no fitted %s model", m)
+	}
+	return modeling.PredictionInterval(info, c.Measurements(m), []float64{p, n}, conf, 0, 1)
+}
+
+// RelErrors concatenates the per-measurement relative errors of every
+// fitted model — the data behind the paper's Figure 3.
+func (f *FitResult) RelErrors() []float64 {
+	var out []float64
+	for _, m := range metrics.All() {
+		if info, ok := f.Info[m]; ok {
+			out = append(out, info.RelErrors...)
+		}
+	}
+	return out
+}
+
+// modelParams is the canonical parameter order of requirement models.
+var modelParams = []string{"p", "n"}
+
+// Fit generates the five requirement models of Table II from a measured
+// campaign. Communication models may use the collective basis functions
+// (Allreduce(p) etc.); the stack-distance metric is aggregated with the
+// median per the paper's locality methodology.
+func Fit(c *Campaign, opts *modeling.Options) (*FitResult, error) {
+	res := &FitResult{
+		App:  codesign.App{Name: c.App, Models: map[metrics.Metric]*pmnf.Model{}},
+		Info: map[metrics.Metric]*modeling.ModelInfo{},
+	}
+	for _, m := range metrics.All() {
+		ms := c.Measurements(m)
+		if len(ms) == 0 {
+			return nil, fmt.Errorf("workload: campaign for %s has no %s measurements", c.App, m)
+		}
+		o := cloneOptions(opts)
+		agg := modeling.Measurement.Mean
+		switch m {
+		case metrics.CommBytes:
+			o.Collectives = map[string]bool{"p": true}
+		case metrics.StackDistance:
+			agg = modeling.Measurement.Median
+		}
+		info, err := modeling.FitMultiAggregated(modelParams, ms, agg, o)
+		if err != nil {
+			return nil, fmt.Errorf("workload: fitting %s %s: %w", c.App, m, err)
+		}
+		res.App.Models[m] = info.Model
+		res.Info[m] = info
+	}
+	return res, nil
+}
+
+// FitAll fits every campaign and aggregates the Figure 3 error classes.
+func FitAll(campaigns []*Campaign, opts *modeling.Options) ([]*FitResult, []stats.ErrorClass, error) {
+	var fits []*FitResult
+	var allErrs []float64
+	for _, c := range campaigns {
+		f, err := Fit(c, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		fits = append(fits, f)
+		allErrs = append(allErrs, f.RelErrors()...)
+	}
+	return fits, stats.ClassifyRelativeErrors(allErrs), nil
+}
+
+func cloneOptions(opts *modeling.Options) *modeling.Options {
+	if opts == nil {
+		return modeling.DefaultOptions()
+	}
+	o := *opts
+	o.Collectives = map[string]bool{}
+	for k, v := range opts.Collectives {
+		o.Collectives[k] = v
+	}
+	return &o
+}

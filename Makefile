@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build check test race bench bench-pipeline fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# check is the PR gate: vet + the full test suite under the race detector.
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test -bench . -benchmem .
+
+# bench-pipeline compares serial vs parallel model-fitting throughput
+# (fits/sec); on GOMAXPROCS >= 4 expect > 1.5x from the parallel variant.
+bench-pipeline:
+	$(GO) test -bench 'FitPipeline' -benchtime 3x .

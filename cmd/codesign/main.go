@@ -8,7 +8,8 @@
 //	codesign -study exascale                # Table VII
 //	codesign -study walkthrough -app LULESH # Table IV
 //	codesign -study upgrade -p 1048576 -mem 4294967296
-//	codesign -study upgrade -models m.json  # fitted models from reqmodel
+//	codesign -study upgrade -models m.json      # fitted models from reqmodel
+//	codesign -study upgrade -source measured    # measure + fit, then study
 package main
 
 import (
@@ -30,16 +31,31 @@ func main() {
 		p2      = flag.Float64("p2", 1<<20, "target system process count for -study port")
 		mem2    = flag.Float64("mem2", 256<<20, "target system memory per process for -study port")
 		models  = flag.String("models", "", "JSON file with fitted models (default: the paper's Table II models)")
+		source  = flag.String("source", "paper", "model source: 'paper' (published Table II models) or 'measured' (run the full measure+fit pipeline)")
 	)
 	flag.Parse()
 
-	apps := extrareq.PaperApps()
-	if *models != "" {
+	var apps []extrareq.App
+	switch {
+	case *models != "":
 		loaded, err := loadModels(*models)
 		if err != nil {
 			fatal(err)
 		}
 		apps = loaded
+	case *source == "measured":
+		fmt.Fprintln(os.Stderr, "codesign: measuring all five proxy applications (this takes a few seconds)...")
+		fits, _, err := extrareq.MeasureAndModelAll()
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range fits {
+			apps = append(apps, f.App)
+		}
+	case *source == "paper":
+		apps = extrareq.PaperApps()
+	default:
+		fatal(fmt.Errorf("unknown source %q (want 'paper' or 'measured')", *source))
 	}
 	base := extrareq.DefaultBaseline()
 	if *p > 0 {

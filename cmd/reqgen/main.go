@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 
 	"extrareq"
 	"extrareq/internal/apps"
@@ -44,7 +45,12 @@ func main() {
 	if *all {
 		names = extrareq.PaperAppNames()
 	}
-	for _, name := range names {
+
+	// Resolve grids up front so that flag errors surface before any
+	// measurement starts.
+	grids := make([]workload.Grid, len(names))
+	measured := make([]apps.App, len(names))
+	for i, name := range names {
 		grid := workload.DefaultGrid(name)
 		grid.Seed = *seed
 		var err error
@@ -58,12 +64,33 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown application %q (have %v)", name, apps.Names()))
 		}
-		fmt.Fprintf(os.Stderr, "reqgen: measuring %s over %d configurations...\n",
-			name, len(grid.Procs)*len(grid.Ns))
-		c, err := workload.Run(a, grid)
+		grids[i], measured[i] = grid, a
+	}
+
+	// Measure the apps concurrently (each campaign also fans its (p, n)
+	// configurations across all cores); files are written afterwards in
+	// the deterministic name order.
+	campaigns := make([]*workload.Campaign, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fmt.Fprintf(os.Stderr, "reqgen: measuring %s over %d configurations...\n",
+				names[i], len(grids[i].Procs)*len(grids[i].Ns))
+			campaigns[i], errs[i] = workload.Run(measured[i], grids[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			fatal(err)
 		}
+	}
+
+	for i, name := range names {
+		c := campaigns[i]
 		ext := ".json"
 		if *format == "extrap" {
 			ext = ".txt"
@@ -108,7 +135,7 @@ func overrideAxis(def []int, spec string) ([]int, error) {
 	for _, part := range strings.Split(spec, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			return nil, fmt.Errorf("reqgen: bad axis value %q: %w", part, err)
+			return nil, fmt.Errorf("bad axis value %q: %w", part, err)
 		}
 		out = append(out, v)
 	}

@@ -6,6 +6,11 @@
 //
 //	reqmodel kripke.json lulesh.json ...
 //	reqmodel -quality kripke.json       # include per-metric fit quality
+//	reqmodel -byregion profile.txt      # per-region models of a multi-region Extra-P file
+//
+// All campaign×metric fits are fanned across one worker pool with a shared
+// fit cache, so fitting many files scales with the core count while the
+// output stays byte-identical to fitting them one at a time.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"extrareq/internal/codesign"
 	"extrareq/internal/extrap"
 	"extrareq/internal/metrics"
+	"extrareq/internal/modeling"
 	"extrareq/internal/report"
 	"extrareq/internal/workload"
 )
@@ -27,40 +33,53 @@ func main() {
 	quality := flag.Bool("quality", false, "print per-metric fit quality (CV SMAPE, R²)")
 	export := flag.String("export", "", "write the fitted models as JSON (consumable by 'codesign -models')")
 	plotMetric := flag.String("plot", "", "render ASCII charts of one metric vs its model (e.g. 'flop', 'bytes_used')")
+	byRegion := flag.Bool("byregion", false, "fit every region×metric series of Extra-P text files separately")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var fitted []extrareq.App
-	var fits []*workload.FitResult
-	for _, path := range flag.Args() {
+	if *byRegion {
+		if err := fitByRegion(flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// Load everything first, then fan every campaign×metric fit across one
+	// worker pool with a shared cache (identical series across files fit
+	// only once).
+	campaigns := make([]*workload.Campaign, flag.NArg())
+	for i, path := range flag.Args() {
 		c, err := loadCampaign(path)
 		if err != nil {
 			fatal(err)
 		}
-		fit, err := workload.Fit(c, nil)
-		if err != nil {
-			fatal(err)
-		}
+		campaigns[i] = c
+	}
+	fits, _, err := workload.FitAllParallel(campaigns, nil, 0, modeling.NewFitCache())
+	if err != nil {
+		fatal(err)
+	}
+	var fitted []extrareq.App
+	for i, fit := range fits {
 		fitted = append(fitted, fit.App)
-		fits = append(fits, fit)
 		if *plotMetric != "" {
 			m, ok := metrics.ByName(*plotMetric)
 			if !ok {
 				fatal(fmt.Errorf("unknown metric %q", *plotMetric))
 			}
-			fmt.Println(report.ModelPlot(c, fit.Info[m], m))
+			fmt.Println(report.ModelPlot(campaigns[i], fit.Info[m], m))
 		}
 	}
 	if *quality {
 		fmt.Println(report.QualityTable(fits))
 	}
-	out, err := extrareq.RenderTable2(fitted, extrareq.DefaultBaseline())
+	table, err := extrareq.RenderTable2(fitted, extrareq.DefaultBaseline())
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println(out)
+	fmt.Println(table)
 
 	if *export != "" {
 		data, err := codesign.SaveApps(fitted)
@@ -72,6 +91,37 @@ func main() {
 		}
 		fmt.Printf("wrote models to %s\n", *export)
 	}
+}
+
+// fitByRegion fits every region×metric series of the given Extra-P text
+// files through the parallel pipeline and prints one model per series.
+func fitByRegion(paths []string) error {
+	cache := modeling.NewFitCache()
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		e, err := extrap.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fits, err := extrap.FitExperiment(e, nil, 0, cache)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n", path)
+		for _, s := range fits {
+			if s.Err != nil {
+				fmt.Printf("  %s/%s: unfittable: %v\n", s.Region, s.Metric, s.Err)
+				continue
+			}
+			fmt.Printf("  %s/%s = %s  (CV SMAPE %.1f%%, R² %.3f)\n",
+				s.Region, s.Metric, s.Info.Model, s.Info.SMAPE, s.Info.RSquared)
+		}
+	}
+	return nil
 }
 
 // loadCampaign reads a campaign from JSON (".json") or the Extra-P text

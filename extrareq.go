@@ -23,6 +23,7 @@ package extrareq
 
 import (
 	"fmt"
+	"sync"
 
 	"extrareq/internal/apps"
 	"extrareq/internal/codesign"
@@ -97,17 +98,38 @@ func ModelWith(c *Campaign, opts *ModelOptions) (*Requirements, error) {
 
 // MeasureAndModelAll runs the full pipeline for all five case-study apps
 // and returns the fitted requirements plus the Figure 3 error classes.
+// Each campaign's (p, n) configurations are measured concurrently across
+// all cores, and every campaign×metric fit is fanned across a shared
+// worker pool with a content-keyed fit cache; the results are byte-for-byte
+// identical to the serial pipeline.
 func MeasureAndModelAll() ([]*Requirements, []ErrorClass, error) {
-	var campaigns []*Campaign
-	for _, a := range apps.All() {
-		c, err := workload.Run(a, workload.DefaultGrid(a.Name()))
+	all := apps.All()
+	campaigns := make([]*Campaign, len(all))
+	errs := make([]error, len(all))
+	var wg sync.WaitGroup
+	for i, a := range all {
+		wg.Add(1)
+		go func(i int, a apps.App) {
+			defer wg.Done()
+			campaigns[i], errs[i] = workload.Run(a, workload.DefaultGrid(a.Name()))
+		}(i, a)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
 		}
-		campaigns = append(campaigns, c)
 	}
-	return workload.FitAll(campaigns, nil)
+	return workload.FitAllParallel(campaigns, nil, 0, NewFitCache())
 }
+
+// FitCache deduplicates model fits across campaigns with identical
+// measurement series; share one across Model/ModelWith calls to avoid
+// refitting unchanged data.
+type FitCache = modeling.FitCache
+
+// NewFitCache returns an empty fit cache.
+func NewFitCache() *FitCache { return modeling.NewFitCache() }
 
 // PaperApps returns the paper's published Table II models for the five
 // case-study applications.

@@ -100,10 +100,22 @@ func Read(r io.Reader) (*Experiment, error) {
 		keyword, rest := splitKeyword(line)
 		switch strings.ToUpper(keyword) {
 		case "PARAMETER":
+			// Parameters change the arity of every coordinate; a PARAMETER
+			// after POINTS would silently disagree with the points already
+			// parsed, so the declaration order is enforced.
+			if len(e.Points) > 0 {
+				return nil, fmt.Errorf("extrap: line %d: PARAMETER after POINTS", lineNo)
+			}
 			for _, name := range strings.Fields(rest) {
 				e.Parameters = append(e.Parameters, name)
 			}
 		case "POINTS":
+			// A second POINTS line used to overwrite the earlier coordinates
+			// while the DATA lines kept accumulating against the old ones —
+			// reject the ambiguity instead.
+			if len(e.Points) > 0 {
+				return nil, fmt.Errorf("extrap: line %d: duplicate POINTS line", lineNo)
+			}
 			pts, err := parsePoints(rest, len(e.Parameters))
 			if err != nil {
 				return nil, fmt.Errorf("extrap: line %d: %w", lineNo, err)

@@ -99,11 +99,28 @@ func TestReadErrors(t *testing.T) {
 		"empty data":       "PARAMETER x\nPOINTS 1\nMETRIC m\nDATA\n",
 		"empty region":     "PARAMETER x\nPOINTS 1\nREGION\n",
 		"empty metric":     "PARAMETER x\nPOINTS 1\nMETRIC\n",
+		// A duplicate POINTS line used to overwrite the earlier coordinates
+		// silently while DATA kept accumulating against the old ones.
+		"duplicate points": "PARAMETER x\nPOINTS 1 2\nPOINTS 3 4\nMETRIC m\nDATA 1\nDATA 2\n",
+		// A PARAMETER after POINTS would change the arity of coordinates
+		// that were already parsed.
+		"parameter after points": "PARAMETER x\nPOINTS 1 2\nPARAMETER y\n",
 	}
 	for name, in := range cases {
 		if _, err := Read(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
+	}
+}
+
+func TestReadDuplicatePointsMessage(t *testing.T) {
+	_, err := Read(strings.NewReader("PARAMETER x\nPOINTS 1 2\nPOINTS 3 4\n"))
+	if err == nil || !strings.Contains(err.Error(), "duplicate POINTS") {
+		t.Fatalf("err = %v, want duplicate POINTS parse error", err)
+	}
+	_, err = Read(strings.NewReader("PARAMETER x\nPOINTS 1 2\nPARAMETER y\n"))
+	if err == nil || !strings.Contains(err.Error(), "PARAMETER after POINTS") {
+		t.Fatalf("err = %v, want PARAMETER-after-POINTS parse error", err)
 	}
 }
 

@@ -1,0 +1,248 @@
+package modeling
+
+// Parallel model fitting. The paper's workflow fits one model per
+// region×metric series; the series are independent, so they fan out across
+// a worker pool. Three guarantees make the pool a drop-in replacement for
+// the serial loop:
+//
+//  1. Determinism: FitAll returns outcomes in task order regardless of the
+//     worker count, and every individual fit is deterministic, so the pool
+//     produces byte-identical models to a serial loop.
+//  2. Content-keyed caching: a FitCache memoizes fits under a fingerprint
+//     of the task *content* (parameters, measurements, aggregator, and
+//     generator options — never the task's display key), so identical
+//     measurement sets are fitted exactly once per cache lifetime.
+//  3. Bounded concurrency: at most `workers` fits run at once (default
+//     GOMAXPROCS), each writing only its own result slot.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Agg names a deterministic aggregator over repeated observations. Fit
+// tasks carry the name instead of a func value so that task content is
+// hashable for the cache.
+type Agg int
+
+// The aggregators of the paper's methodology: mean for counter metrics,
+// median for the locality metric (§II-B).
+const (
+	AggMean Agg = iota
+	AggMedian
+)
+
+// String implements fmt.Stringer.
+func (a Agg) String() string {
+	switch a {
+	case AggMedian:
+		return "median"
+	default:
+		return "mean"
+	}
+}
+
+// fn returns the aggregation function.
+func (a Agg) fn() func(Measurement) float64 {
+	if a == AggMedian {
+		return Measurement.Median
+	}
+	return Measurement.Mean
+}
+
+// FitTask is one independent model-fitting job: a measurement series plus
+// the generator configuration. Key is a caller-chosen label (for example
+// "region/metric") carried through to the outcome; it does not participate
+// in cache fingerprints.
+type FitTask struct {
+	Key    string
+	Params []string
+	Ms     []Measurement
+	Agg    Agg
+	Opts   *Options
+}
+
+// FitOutcome is the result of one FitTask.
+type FitOutcome struct {
+	Key  string
+	Info *ModelInfo
+	Err  error
+}
+
+// FitAll fits every task across a pool of workers and returns the outcomes
+// in task order. workers <= 0 selects GOMAXPROCS. A non-nil cache memoizes
+// fits by content: tasks with identical parameters, measurements,
+// aggregator, and options share one fitted model (the returned *ModelInfo
+// is shared and must be treated as read-only).
+func FitAll(tasks []FitTask, workers int, cache *FitCache) []FitOutcome {
+	out := make([]FitOutcome, len(tasks))
+	if len(tasks) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				out[i] = fitOne(tasks[i], cache)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// fitOne runs one task, consulting the cache when provided.
+func fitOne(t FitTask, cache *FitCache) FitOutcome {
+	if cache != nil {
+		fp := fingerprint(t)
+		if info, err, ok := cache.lookup(fp); ok {
+			return FitOutcome{Key: t.Key, Info: info, Err: err}
+		}
+		info, err := FitMultiAggregated(t.Params, t.Ms, t.Agg.fn(), t.Opts)
+		info, err = cache.store(fp, info, err)
+		return FitOutcome{Key: t.Key, Info: info, Err: err}
+	}
+	info, err := FitMultiAggregated(t.Params, t.Ms, t.Agg.fn(), t.Opts)
+	return FitOutcome{Key: t.Key, Info: info, Err: err}
+}
+
+// FitCache memoizes fitted models under content fingerprints. Safe for
+// concurrent use; the zero value is not usable, call NewFitCache.
+type FitCache struct {
+	mu      sync.Mutex
+	entries map[[sha256.Size]byte]fitEntry
+	hits    atomic.Int64
+}
+
+type fitEntry struct {
+	info *ModelInfo
+	err  error
+}
+
+// NewFitCache returns an empty cache.
+func NewFitCache() *FitCache {
+	return &FitCache{entries: map[[sha256.Size]byte]fitEntry{}}
+}
+
+// Len reports the number of cached fits.
+func (c *FitCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Hits reports how many lookups were served from the cache.
+func (c *FitCache) Hits() int64 { return c.hits.Load() }
+
+func (c *FitCache) lookup(fp [sha256.Size]byte) (*ModelInfo, error, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[fp]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	return e.info, e.err, ok
+}
+
+// store inserts a computed fit, keeping the first entry if two workers
+// raced on the same fingerprint, so that every caller observes one
+// canonical model per content key.
+func (c *FitCache) store(fp [sha256.Size]byte, info *ModelInfo, err error) (*ModelInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[fp]; ok {
+		return e.info, e.err
+	}
+	c.entries[fp] = fitEntry{info: info, err: err}
+	return info, err
+}
+
+// fingerprint hashes the content of a fit task: parameters, measurements,
+// aggregator, and every generator option that influences the result. The
+// task Key is deliberately excluded — identical series fitted under
+// different labels share one cache entry.
+func fingerprint(t FitTask) [sha256.Size]byte {
+	h := sha256.New()
+	buf := make([]byte, 8)
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	str(t.Agg.String())
+	u64(uint64(len(t.Params)))
+	for _, p := range t.Params {
+		str(p)
+	}
+	u64(uint64(len(t.Ms)))
+	for _, m := range t.Ms {
+		u64(uint64(len(m.Coords)))
+		for _, c := range m.Coords {
+			f64(c)
+		}
+		u64(uint64(len(m.Values)))
+		for _, v := range m.Values {
+			f64(v)
+		}
+	}
+
+	opts := t.Opts
+	if opts == nil {
+		opts = DefaultOptions()
+	}
+	u64(uint64(len(opts.PolyExponents)))
+	for _, e := range opts.PolyExponents {
+		f64(e)
+	}
+	u64(uint64(len(opts.LogExponents)))
+	for _, e := range opts.LogExponents {
+		f64(e)
+	}
+	colls := make([]string, 0, len(opts.Collectives))
+	for k, v := range opts.Collectives {
+		if v {
+			colls = append(colls, k)
+		}
+	}
+	sort.Strings(colls)
+	u64(uint64(len(colls)))
+	for _, k := range colls {
+		str(k)
+	}
+	u64(uint64(opts.MaxTerms))
+	f64(opts.Improvement)
+	if opts.AllowNegative {
+		u64(1)
+	} else {
+		u64(0)
+	}
+	f64(opts.NoiseFloor)
+	u64(uint64(opts.MinPoints))
+
+	var fp [sha256.Size]byte
+	h.Sum(fp[:0])
+	return fp
+}

@@ -1,0 +1,176 @@
+package modeling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// poolSeries builds a deterministic measurement series whose shape depends
+// on the series index, so different tasks yield different models.
+func poolSeries(idx int) []Measurement {
+	var ms []Measurement
+	for _, x := range []float64{2, 4, 8, 16, 32, 64} {
+		v := float64(100+idx) * x
+		if idx%2 == 1 {
+			v = float64(50+idx) * x * math.Log2(x)
+		}
+		ms = append(ms, Measurement{Coords: []float64{x}, Values: []float64{v}})
+	}
+	return ms
+}
+
+func poolTasks(n int) []FitTask {
+	tasks := make([]FitTask, n)
+	for i := range tasks {
+		tasks[i] = FitTask{
+			Key:    fmt.Sprintf("series-%d", i),
+			Params: []string{"n"},
+			Ms:     poolSeries(i),
+			Agg:    AggMean,
+		}
+	}
+	return tasks
+}
+
+// TestFitAllOrderIndependentOfWorkers proves the determinism guarantee:
+// the outcome slice is identical (same keys, byte-identical rendered
+// models) for every worker count, including the serial reference.
+func TestFitAllOrderIndependentOfWorkers(t *testing.T) {
+	tasks := poolTasks(12)
+	render := func(outs []FitOutcome) []string {
+		lines := make([]string, len(outs))
+		for i, o := range outs {
+			if o.Err != nil {
+				t.Fatalf("task %s: %v", o.Key, o.Err)
+			}
+			lines[i] = o.Key + " = " + o.Info.Model.String()
+		}
+		return lines
+	}
+	ref := render(FitAll(tasks, 1, nil))
+	for _, workers := range []int{2, 3, 4, 8, 0} {
+		got := render(FitAll(tasks, workers, nil))
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("workers=%d outcome %d = %q, want %q (serial)", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestFitCacheIdenticalMeasurements verifies the content-keyed cache:
+// identical measurement sets under different task keys share one fitted
+// model (pointer-identical), and repeat passes are pure cache hits.
+func TestFitCacheIdenticalMeasurements(t *testing.T) {
+	base := poolTasks(4)
+	dup := make([]FitTask, len(base))
+	for i, task := range base {
+		task.Key = "dup/" + task.Key
+		dup[i] = task
+	}
+	cache := NewFitCache()
+	first := FitAll(base, 4, cache)
+	second := FitAll(dup, 4, cache)
+	if cache.Len() != len(base) {
+		t.Errorf("cache holds %d entries, want %d", cache.Len(), len(base))
+	}
+	if hits := cache.Hits(); hits != int64(len(dup)) {
+		t.Errorf("cache hits = %d, want %d (second pass fully cached)", hits, len(dup))
+	}
+	for i := range first {
+		if first[i].Info != second[i].Info {
+			t.Errorf("task %d: cache returned a different *ModelInfo for identical measurements", i)
+		}
+		if second[i].Key != dup[i].Key {
+			t.Errorf("task %d: outcome key %q, want %q", i, second[i].Key, dup[i].Key)
+		}
+	}
+}
+
+// TestFitCacheDistinguishesContent verifies that the fingerprint reacts to
+// every content dimension: values, coordinates, aggregator, and options.
+func TestFitCacheDistinguishesContent(t *testing.T) {
+	base := FitTask{Params: []string{"n"}, Ms: poolSeries(0), Agg: AggMean}
+	variants := []FitTask{base}
+
+	v := base
+	v.Ms = poolSeries(1)
+	variants = append(variants, v)
+
+	v = base
+	v.Agg = AggMedian
+	variants = append(variants, v)
+
+	v = base
+	o := DefaultOptions()
+	o.MaxTerms = 1
+	v.Opts = o
+	variants = append(variants, v)
+
+	v = base
+	o2 := DefaultOptions()
+	o2.Collectives = map[string]bool{"n": true}
+	v.Opts = o2
+	variants = append(variants, v)
+
+	seen := map[[32]byte]int{}
+	for i, task := range variants {
+		fp := fingerprint(task)
+		if j, dup := seen[fp]; dup {
+			t.Errorf("variants %d and %d share a fingerprint", i, j)
+		}
+		seen[fp] = i
+	}
+
+	// Options pointer identity must not matter, only content.
+	a, b := base, base
+	a.Opts, b.Opts = DefaultOptions(), DefaultOptions()
+	if fingerprint(a) != fingerprint(b) {
+		t.Error("equal option contents under distinct pointers fingerprint differently")
+	}
+	// nil options are equivalent to DefaultOptions.
+	if fingerprint(base) != fingerprint(a) {
+		t.Error("nil options fingerprint differently from DefaultOptions")
+	}
+}
+
+// TestFitAllPropagatesErrors verifies that a failing task reports its
+// error in position without disturbing its neighbours, and that errors are
+// cached like successes.
+func TestFitAllPropagatesErrors(t *testing.T) {
+	tasks := poolTasks(3)
+	// A two-parameter grid with only two distinct values per parameter:
+	// below the MinPoints rule of thumb, the multi-parameter fit refuses.
+	tasks[1].Params = []string{"p", "n"}
+	tasks[1].Ms = []Measurement{
+		{Coords: []float64{2, 128}, Values: []float64{1}},
+		{Coords: []float64{2, 256}, Values: []float64{2}},
+		{Coords: []float64{4, 128}, Values: []float64{3}},
+		{Coords: []float64{4, 256}, Values: []float64{4}},
+	}
+	cache := NewFitCache()
+	for pass := 0; pass < 2; pass++ {
+		outs := FitAll(tasks, 2, cache)
+		if outs[0].Err != nil || outs[2].Err != nil {
+			t.Fatalf("pass %d: healthy tasks failed: %v %v", pass, outs[0].Err, outs[2].Err)
+		}
+		if !errors.Is(outs[1].Err, ErrTooFewPoints) {
+			t.Fatalf("pass %d: outs[1].Err = %v, want ErrTooFewPoints", pass, outs[1].Err)
+		}
+	}
+	if cache.Hits() != 3 {
+		t.Errorf("cache hits = %d, want 3 (second pass fully cached, including the error)", cache.Hits())
+	}
+}
+
+// TestFitAllEmpty covers the degenerate inputs.
+func TestFitAllEmpty(t *testing.T) {
+	if out := FitAll(nil, 4, nil); len(out) != 0 {
+		t.Errorf("FitAll(nil) = %v, want empty", out)
+	}
+	if out := FitAll([]FitTask{}, 0, NewFitCache()); len(out) != 0 {
+		t.Errorf("FitAll(empty) = %v, want empty", out)
+	}
+}

@@ -65,14 +65,26 @@ func (p *Proc) Irecv(src int) *Request {
 }
 
 // Wait completes the operation. For receives it returns the message; for
-// sends it returns nil. Wait is idempotent.
+// sends it returns nil. Wait is idempotent. Like the blocking primitives,
+// Wait polls the run's cancel gate: a cancelled run unwinds the rank
+// instead of blocking forever.
 func (r *Request) Wait() []float64 {
 	if r.done {
 		return r.result
 	}
 	p := r.proc
 	if r.isRecv {
-		msg := <-p.world.chans[r.src][p.rank]
+		p.checkCancel()
+		var msg []float64
+		select {
+		case msg = <-p.world.chans[r.src][p.rank]:
+		case <-p.world.cancel:
+			select {
+			case msg = <-p.world.chans[r.src][p.rank]:
+			default:
+				panic(cancelPanic{})
+			}
+		}
 		nbytes := int64(len(msg) * bytesPerElem)
 		p.Counters.Add(counters.BytesRecv, nbytes)
 		p.Counters.Add(counters.MsgsRecv, 1)
@@ -82,7 +94,12 @@ func (r *Request) Wait() []float64 {
 		return msg
 	}
 	if !r.sent {
-		p.world.chans[p.rank][r.dst] <- r.data
+		p.checkCancel()
+		select {
+		case p.world.chans[p.rank][r.dst] <- r.data:
+		case <-p.world.cancel:
+			panic(cancelPanic{})
+		}
 		r.sent = true
 	}
 	r.done = true

@@ -15,6 +15,7 @@
 package simmpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -55,6 +56,18 @@ const bytesPerElem = 8
 type World struct {
 	size  int
 	chans [][]chan []float64 // chans[src][dst]
+
+	// cancel is closed exactly once when the run is being torn down
+	// (timeout or context cancellation). Every blocking communication
+	// primitive selects on it, so no rank stays parked in a channel
+	// operation after cancellation.
+	cancel     chan struct{}
+	cancelOnce sync.Once
+}
+
+// doCancel requests cancellation of every rank in the world. Idempotent.
+func (w *World) doCancel() {
+	w.cancelOnce.Do(func() { close(w.cancel) })
 }
 
 // Proc is the handle a rank's body function uses: its identity, the
@@ -86,20 +99,73 @@ type Result struct {
 	Err      error
 }
 
+// Timeout sentinels for Options.Timeout and Options.DrainTimeout. A zero
+// duration is the "use the default" sentinel (the zero Options value keeps
+// the safe defaults); any negative duration disables the corresponding
+// watchdog. An explicit zero-length run timeout — abort immediately — is
+// expressed through RunContext with an already-expired context, e.g.
+// context.WithTimeout(ctx, 0).
+const (
+	// DefaultTimeout is the run watchdog applied when Options.Timeout == 0.
+	DefaultTimeout = 60 * time.Second
+	// DefaultDrainTimeout is the cancellation grace period applied when
+	// Options.DrainTimeout == 0.
+	DefaultDrainTimeout = 5 * time.Second
+	// NoTimeout disables a watchdog (any negative duration does).
+	NoTimeout time.Duration = -1
+)
+
 // Options configure a Run.
 type Options struct {
 	// ChannelDepth is the per-pair message buffer (eager limit); messages
 	// beyond it block the sender. Default 64.
 	ChannelDepth int
-	// Timeout aborts the run if the ranks have not finished in time. A
-	// timed-out run leaks the blocked goroutines; this is a test safety net,
-	// not a recovery mechanism. Default 60s; set negative to disable.
+	// Timeout cancels the run if the ranks have not finished in time
+	// (typically a communication deadlock in the body function). On expiry
+	// the runtime cancels the world and drains the rank goroutines instead
+	// of abandoning them, so a timed-out run returns the partial per-rank
+	// results together with ErrTimeout. 0 means DefaultTimeout; NoTimeout
+	// (any negative duration) disables the watchdog.
 	Timeout time.Duration
+	// DrainTimeout bounds how long a cancelled run waits for the rank
+	// goroutines to acknowledge cancellation. Ranks blocked in runtime
+	// communication unwind immediately; a body spinning in pure computation
+	// must poll Proc.Cancelled to be drainable. If the grace period expires
+	// the goroutines are abandoned and no results are returned (the slice
+	// they write into is never read again, keeping the run race-free even
+	// on this last-resort path). 0 means DefaultDrainTimeout; NoTimeout
+	// waits forever.
+	DrainTimeout time.Duration
+}
+
+// resolveTimeouts maps the Options sentinels onto effective durations.
+// A negative return value means "disabled" (run) or "wait forever" (drain).
+func resolveTimeouts(opt *Options) (run, drain time.Duration) {
+	run, drain = DefaultTimeout, DefaultDrainTimeout
+	if opt != nil {
+		if opt.Timeout != 0 {
+			run = opt.Timeout
+		}
+		if opt.DrainTimeout != 0 {
+			drain = opt.DrainTimeout
+		}
+	}
+	return run, drain
 }
 
 // ErrTimeout is returned by Run when ranks fail to finish in time
 // (typically a communication deadlock in the body function).
 var ErrTimeout = errors.New("simmpi: run timed out (deadlock in rank bodies?)")
+
+// ErrCancelled is the per-rank error of ranks that were unwound by
+// cancellation, and is wrapped by RunContext's run-level error when the
+// caller's context is the cancellation cause.
+var ErrCancelled = errors.New("simmpi: run cancelled")
+
+// cancelPanic unwinds a rank body from inside a communication primitive
+// once the world has been cancelled. It is recovered by the rank goroutine
+// and converted into ErrCancelled; it never escapes the package.
+type cancelPanic struct{}
 
 // Run executes body on every rank of a world of the given size and returns
 // the per-rank results. A panic inside a body is captured as that rank's
@@ -110,20 +176,32 @@ func Run(size int, body func(*Proc) error) ([]Result, error) {
 
 // RunOpt is Run with explicit options.
 func RunOpt(size int, opt *Options, body func(*Proc) error) ([]Result, error) {
+	return RunContext(context.Background(), size, opt, body)
+}
+
+// RunContext is Run with explicit options and a cancellation signal.
+// Cancelling ctx (or hitting Options.Timeout) closes the world's cancel
+// gate: every rank blocked in Send/Recv/Wait unwinds with ErrCancelled as
+// its per-rank error, cooperative bodies can poll Proc.Cancelled, and
+// RunContext returns the partial per-rank results only after every rank
+// goroutine has exited — each goroutine writes exclusively its own result
+// slot and the slice is read strictly after the rendezvous, so the run is
+// race-free on every path. The run-level error is ErrTimeout for a
+// watchdog expiry and wraps ErrCancelled (with context.Cause) for a
+// context cancellation.
+func RunContext(ctx context.Context, size int, opt *Options, body func(*Proc) error) ([]Result, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("simmpi: invalid world size %d", size)
 	}
-	depth := 64
-	timeout := 60 * time.Second
-	if opt != nil {
-		if opt.ChannelDepth > 0 {
-			depth = opt.ChannelDepth
-		}
-		if opt.Timeout != 0 {
-			timeout = opt.Timeout
-		}
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	w := &World{size: size, chans: make([][]chan []float64, size)}
+	depth := 64
+	if opt != nil && opt.ChannelDepth > 0 {
+		depth = opt.ChannelDepth
+	}
+	timeout, drain := resolveTimeouts(opt)
+	w := &World{size: size, chans: make([][]chan []float64, size), cancel: make(chan struct{})}
 	for s := 0; s < size; s++ {
 		w.chans[s] = make([]chan []float64, size)
 		for d := 0; d < size; d++ {
@@ -143,9 +221,15 @@ func RunOpt(size int, opt *Options, body func(*Proc) error) ([]Result, error) {
 				Counters: &counters.Set{},
 				Prof:     profile.New(),
 			}
+			// Each goroutine owns results[rank] exclusively; Run reads the
+			// slice only after wg.Wait() has established happens-before.
 			results[rank] = Result{Rank: rank, Counters: p.Counters, Profile: p.Prof}
 			defer func() {
 				if rec := recover(); rec != nil {
+					if _, ok := rec.(cancelPanic); ok {
+						results[rank].Err = ErrCancelled
+						return
+					}
 					results[rank].Err = fmt.Errorf("simmpi: rank %d panicked: %v", rank, rec)
 				}
 			}()
@@ -157,14 +241,41 @@ func RunOpt(size int, opt *Options, body func(*Proc) error) ([]Result, error) {
 		wg.Wait()
 		close(done)
 	}()
-	if timeout < 0 {
-		<-done
-	} else {
-		select {
-		case <-done:
-		case <-time.After(timeout):
-			return nil, ErrTimeout
+
+	var timer <-chan time.Time
+	if timeout >= 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	var cause error
+	select {
+	case <-done:
+	case <-timer:
+		cause = ErrTimeout
+	case <-ctx.Done():
+		cause = fmt.Errorf("%w: %v", ErrCancelled, context.Cause(ctx))
+	}
+	if cause != nil {
+		// Cancel + drain instead of abandoning live goroutines: ranks
+		// blocked in communication unwind via the cancel gate, finished
+		// ranks keep their results.
+		w.doCancel()
+		if drain < 0 {
+			<-done
+		} else {
+			dt := time.NewTimer(drain)
+			defer dt.Stop()
+			select {
+			case <-done:
+			case <-dt.C:
+				// Last resort: a body ignored cancellation (e.g. an infinite
+				// compute loop that never polls Cancelled). The goroutines
+				// are abandoned and results must not be read.
+				return nil, fmt.Errorf("%w (rank goroutines ignored cancellation for %v and were abandoned)", cause, drain)
+			}
 		}
+		return results, cause
 	}
 	for _, res := range results {
 		if res.Err != nil {
@@ -174,18 +285,44 @@ func RunOpt(size int, opt *Options, body func(*Proc) error) ([]Result, error) {
 	return results, nil
 }
 
+// Cancelled reports whether the run has been cancelled (watchdog timeout
+// or context cancellation). Bodies with long communication-free compute
+// phases should poll it and return early; every communication primitive
+// polls it implicitly.
+func (p *Proc) Cancelled() bool {
+	select {
+	case <-p.world.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// checkCancel unwinds the calling rank body if the run has been cancelled.
+// Called at the head of every communication primitive.
+func (p *Proc) checkCancel() {
+	if p.Cancelled() {
+		panic(cancelPanic{})
+	}
+}
+
 // Send transmits data to rank dst. The payload is copied, so the caller may
 // reuse the slice. Sending to self is allowed (buffered).
 func (p *Proc) Send(dst int, data []float64) {
 	if dst < 0 || dst >= p.size {
 		panic(fmt.Sprintf("simmpi: Send to invalid rank %d (size %d)", dst, p.size))
 	}
+	p.checkCancel()
 	msg := append([]float64(nil), data...)
+	select {
+	case p.world.chans[p.rank][dst] <- msg:
+	case <-p.world.cancel:
+		panic(cancelPanic{})
+	}
 	nbytes := int64(len(data) * bytesPerElem)
 	p.Counters.Add(counters.BytesSent, nbytes)
 	p.Counters.Add(counters.MsgsSent, 1)
 	p.Prof.AddMetric("bytes_sent", float64(nbytes))
-	p.world.chans[p.rank][dst] <- msg
 }
 
 // Recv receives the next message from rank src.
@@ -193,7 +330,20 @@ func (p *Proc) Recv(src int) []float64 {
 	if src < 0 || src >= p.size {
 		panic(fmt.Sprintf("simmpi: Recv from invalid rank %d (size %d)", src, p.size))
 	}
-	msg := <-p.world.chans[src][p.rank]
+	p.checkCancel()
+	var msg []float64
+	select {
+	case msg = <-p.world.chans[src][p.rank]:
+	case <-p.world.cancel:
+		// Prefer a pending message over unwinding, so ranks that have all
+		// their inputs already buffered can still make progress decisions;
+		// an empty channel unwinds immediately.
+		select {
+		case msg = <-p.world.chans[src][p.rank]:
+		default:
+			panic(cancelPanic{})
+		}
+	}
 	nbytes := int64(len(msg) * bytesPerElem)
 	p.Counters.Add(counters.BytesRecv, nbytes)
 	p.Counters.Add(counters.MsgsRecv, 1)
@@ -201,8 +351,15 @@ func (p *Proc) Recv(src int) []float64 {
 	return msg
 }
 
-// SendRecv sends sdata to dst and receives a message from src, in an order
-// that cannot deadlock under the runtime's buffered (eager) channels.
+// SendRecv sends sdata to dst and receives a message from src. The
+// send-before-receive order cannot deadlock under the runtime's buffered
+// (eager) channels as long as the number of undelivered messages between
+// any rank pair stays below Options.ChannelDepth; once a pair's buffer is
+// full the Send blocks like a rendezvous send, and cyclic SendRecv patterns
+// (e.g. a ring exchange repeated more than ChannelDepth times without
+// draining) can deadlock exactly as they would on an eager-limited MPI.
+// Size ChannelDepth above the largest number of in-flight messages per
+// pair, or rely on the run watchdog to cancel and report the cycle.
 func (p *Proc) SendRecv(dst int, sdata []float64, src int) []float64 {
 	p.Send(dst, sdata)
 	return p.Recv(src)

@@ -43,44 +43,99 @@ func (f *FitResult) RelErrors() []float64 {
 // modelParams is the canonical parameter order of requirement models.
 var modelParams = []string{"p", "n"}
 
-// Fit generates the five requirement models of Table II from a measured
-// campaign. Communication models may use the collective basis functions
-// (Allreduce(p) etc.); the stack-distance metric is aggregated with the
-// median per the paper's locality methodology.
-func Fit(c *Campaign, opts *modeling.Options) (*FitResult, error) {
+// fitTask builds the model-generator job of one metric of a campaign:
+// communication models get the collective basis functions (Allreduce(p)
+// etc.), and the stack-distance metric is aggregated with the median per
+// the paper's locality methodology.
+func fitTask(c *Campaign, m metrics.Metric, opts *modeling.Options) (modeling.FitTask, error) {
+	ms := c.Measurements(m)
+	if len(ms) == 0 {
+		return modeling.FitTask{}, fmt.Errorf("workload: campaign for %s has no %s measurements", c.App, m)
+	}
+	o := cloneOptions(opts)
+	agg := modeling.AggMean
+	switch m {
+	case metrics.CommBytes:
+		o.Collectives = map[string]bool{"p": true}
+	case metrics.StackDistance:
+		agg = modeling.AggMedian
+	}
+	return modeling.FitTask{
+		Key:    c.App + "/" + m.String(),
+		Params: modelParams,
+		Ms:     ms,
+		Agg:    agg,
+		Opts:   o,
+	}, nil
+}
+
+// assembleFit converts the per-metric outcomes of one campaign (in
+// metrics.All order) into a FitResult, surfacing the first failed metric.
+func assembleFit(c *Campaign, outs []modeling.FitOutcome) (*FitResult, error) {
 	res := &FitResult{
 		App:  codesign.App{Name: c.App, Models: map[metrics.Metric]*pmnf.Model{}},
 		Info: map[metrics.Metric]*modeling.ModelInfo{},
 	}
-	for _, m := range metrics.All() {
-		ms := c.Measurements(m)
-		if len(ms) == 0 {
-			return nil, fmt.Errorf("workload: campaign for %s has no %s measurements", c.App, m)
+	for i, m := range metrics.All() {
+		if outs[i].Err != nil {
+			return nil, fmt.Errorf("workload: fitting %s %s: %w", c.App, m, outs[i].Err)
 		}
-		o := cloneOptions(opts)
-		agg := modeling.Measurement.Mean
-		switch m {
-		case metrics.CommBytes:
-			o.Collectives = map[string]bool{"p": true}
-		case metrics.StackDistance:
-			agg = modeling.Measurement.Median
-		}
-		info, err := modeling.FitMultiAggregated(modelParams, ms, agg, o)
-		if err != nil {
-			return nil, fmt.Errorf("workload: fitting %s %s: %w", c.App, m, err)
-		}
-		res.App.Models[m] = info.Model
-		res.Info[m] = info
+		res.App.Models[m] = outs[i].Info.Model
+		res.Info[m] = outs[i].Info
 	}
 	return res, nil
 }
 
-// FitAll fits every campaign and aggregates the Figure 3 error classes.
+// Fit generates the five requirement models of Table II from a measured
+// campaign, fanning the per-metric fits across all cores.
+func Fit(c *Campaign, opts *modeling.Options) (*FitResult, error) {
+	return FitParallel(c, opts, 0, nil)
+}
+
+// FitParallel is Fit with an explicit worker count (<= 0 selects
+// GOMAXPROCS) and an optional content-keyed fit cache. The result is
+// deterministic: any worker count produces byte-identical models.
+func FitParallel(c *Campaign, opts *modeling.Options, workers int, cache *modeling.FitCache) (*FitResult, error) {
+	all := metrics.All()
+	tasks := make([]modeling.FitTask, 0, len(all))
+	for _, m := range all {
+		task, err := fitTask(c, m, opts)
+		if err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, task)
+	}
+	return assembleFit(c, modeling.FitAll(tasks, workers, cache))
+}
+
+// FitAll fits every campaign and aggregates the Figure 3 error classes,
+// fanning every campaign×metric series across all cores.
 func FitAll(campaigns []*Campaign, opts *modeling.Options) ([]*FitResult, []stats.ErrorClass, error) {
+	return FitAllParallel(campaigns, opts, 0, nil)
+}
+
+// FitAllParallel is FitAll with an explicit worker count (<= 0 selects
+// GOMAXPROCS) and an optional content-keyed fit cache shared across
+// campaigns: campaigns with identical measurement series reuse each
+// other's fits. Result order follows the campaign order regardless of the
+// worker count.
+func FitAllParallel(campaigns []*Campaign, opts *modeling.Options, workers int, cache *modeling.FitCache) ([]*FitResult, []stats.ErrorClass, error) {
+	all := metrics.All()
+	tasks := make([]modeling.FitTask, 0, len(campaigns)*len(all))
+	for _, c := range campaigns {
+		for _, m := range all {
+			task, err := fitTask(c, m, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			tasks = append(tasks, task)
+		}
+	}
+	outs := modeling.FitAll(tasks, workers, cache)
 	var fits []*FitResult
 	var allErrs []float64
-	for _, c := range campaigns {
-		f, err := Fit(c, opts)
+	for i, c := range campaigns {
+		f, err := assembleFit(c, outs[i*len(all):(i+1)*len(all)])
 		if err != nil {
 			return nil, nil, err
 		}

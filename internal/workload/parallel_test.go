@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"extrareq/internal/apps"
+	"extrareq/internal/metrics"
+	"extrareq/internal/modeling"
+)
+
+// renderFitResults stringifies fitted campaigns for byte comparison.
+func renderFitResults(t *testing.T, fits []*FitResult) string {
+	t.Helper()
+	var b strings.Builder
+	for _, f := range fits {
+		for _, m := range metrics.All() {
+			info := f.Info[m]
+			fmt.Fprintf(&b, "%s/%s = %s (cv=%.17g)\n", f.App.Name, m, info.Model, info.CVScore)
+		}
+	}
+	return b.String()
+}
+
+// TestRunParallelMatchesSerial verifies that concurrent campaign
+// measurement produces the same samples, in the same p-major/n-minor
+// order, as the one-worker loop.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	serial, err := RunParallel(apps.NewKripke(), smallGrid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		par, err := RunParallel(apps.NewKripke(), smallGrid, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(serial.Samples)
+		b, _ := json.Marshal(par.Samples)
+		if string(a) != string(b) {
+			t.Errorf("workers=%d: samples differ from serial measurement", workers)
+		}
+	}
+}
+
+// TestFitAllParallelWorkerCountIndependent is the table-driven determinism
+// test: fitting the same campaigns must render byte-identically for every
+// worker count, with and without a shared cache.
+func TestFitAllParallelWorkerCountIndependent(t *testing.T) {
+	c1, err := Run(apps.NewKripke(), smallGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Run(apps.NewLULESH(), smallGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaigns := []*Campaign{c1, c2}
+
+	ref, refErrs, err := FitAllParallel(campaigns, nil, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderFitResults(t, ref)
+
+	cases := []struct {
+		name    string
+		workers int
+		cached  bool
+	}{
+		{"workers=2", 2, false},
+		{"workers=4", 4, false},
+		{"workers=8", 8, false},
+		{"gomaxprocs", 0, false},
+		{"workers=4 cached", 4, true},
+		{"gomaxprocs cached", 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var cache *modeling.FitCache
+			if tc.cached {
+				cache = modeling.NewFitCache()
+			}
+			fits, errs, err := FitAllParallel(campaigns, nil, tc.workers, cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := renderFitResults(t, fits); got != want {
+				t.Errorf("output differs from serial fit:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+			}
+			if len(errs) != len(refErrs) {
+				t.Errorf("error classes: %d, want %d", len(errs), len(refErrs))
+			}
+		})
+	}
+}
+
+// TestFitParallelCacheReuse verifies that a shared cache lets a second
+// campaign with identical samples reuse the first campaign's fits.
+func TestFitParallelCacheReuse(t *testing.T) {
+	c, err := Run(apps.NewKripke(), smallGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := modeling.NewFitCache()
+	first, err := FitParallel(c, nil, 4, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := cache.Len()
+	second, err := FitParallel(c, nil, 4, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != entries {
+		t.Errorf("second fit grew the cache from %d to %d entries", entries, cache.Len())
+	}
+	if cache.Hits() == 0 {
+		t.Error("second fit recorded no cache hits")
+	}
+	for _, m := range metrics.All() {
+		if first.Info[m] != second.Info[m] {
+			t.Errorf("%s: refit despite identical campaign", m)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package extrareq
+
+// Serial-vs-parallel throughput of the model-fitting pipeline. On a
+// multi-core host (GOMAXPROCS >= 4) the parallel variant is expected to
+// deliver > 1.5x the serial fits/sec:
+//
+//	go test -bench FitPipeline -benchtime 3x .
+//
+// The comparison is honest because the parallel path produces
+// byte-identical models (see workload.FitAllParallel and its tests), so
+// both variants do exactly the same numerical work.
+
+import (
+	"runtime"
+	"testing"
+
+	"extrareq/internal/apps"
+	"extrareq/internal/metrics"
+	"extrareq/internal/modeling"
+	"extrareq/internal/workload"
+)
+
+// benchCampaigns measures every proxy app once over the reduced grid; the
+// benchmark then times only the fitting stage.
+func benchCampaigns(b *testing.B) []*workload.Campaign {
+	b.Helper()
+	var out []*workload.Campaign
+	for _, a := range apps.All() {
+		c, err := workload.Run(a, benchGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func benchmarkFitPipeline(b *testing.B, workers int) {
+	campaigns := benchCampaigns(b)
+	tasks := len(campaigns) * len(metrics.All())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// No cache: every iteration re-fits every series, so fits/sec
+		// reflects raw fitting throughput.
+		if _, _, err := workload.FitAllParallel(campaigns, nil, workers, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tasks*b.N)/b.Elapsed().Seconds(), "fits/sec")
+	b.ReportMetric(float64(workersOrMax(workers)), "workers")
+}
+
+func workersOrMax(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+func BenchmarkFitPipelineSerial(b *testing.B)   { benchmarkFitPipeline(b, 1) }
+func BenchmarkFitPipelineParallel(b *testing.B) { benchmarkFitPipeline(b, 0) }
+
+// BenchmarkFitPipelineCached shows the content-keyed cache short-circuiting
+// repeated fits of identical measurement series.
+func BenchmarkFitPipelineCached(b *testing.B) {
+	campaigns := benchCampaigns(b)
+	cache := modeling.NewFitCache()
+	if _, _, err := workload.FitAllParallel(campaigns, nil, 0, cache); err != nil {
+		b.Fatal(err) // warm the cache outside the timed region
+	}
+	tasks := len(campaigns) * len(metrics.All())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := workload.FitAllParallel(campaigns, nil, 0, cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tasks*b.N)/b.Elapsed().Seconds(), "fits/sec")
+}

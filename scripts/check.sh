@@ -1,0 +1,26 @@
+#!/bin/sh
+# PR gate: formatting, static analysis, and the full test suite under the
+# race detector (the simmpi cancellation paths in particular are only
+# meaningfully exercised with -race).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "check: all clean"

@@ -7,11 +7,20 @@
 //	repro -table 5 -source paper   # Table V from the published models
 //	repro -table 2 -source measured  # Table II from the full pipeline
 //	repro -figure 3                # the model-quality histogram
+//	repro -table 2 -source measured -faults seed=7,kill=0.3 -retries 4
 //
 // With -source measured, the five proxy applications are run over their
 // measurement grids, models are fitted with the Extra-P-style generator,
 // and the studies are computed from the fitted models; with -source paper
 // (default), the published Table II models are used directly.
+//
+// With -faults, the measured pipeline runs on a deliberately unreliable
+// simulated system: ranks die, messages are dropped, delayed, or
+// duplicated, and counter readings are perturbed, per the deterministic
+// seeded fault spec. Failed configurations are retried up to -retries
+// times, repeatedly failing ones are quarantined, and a campaign report per
+// application (including -min-points axis-coverage warnings) is printed to
+// stderr so degraded fits are never silent.
 package main
 
 import (
@@ -25,24 +34,27 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "table number to regenerate (1-7)")
-		figure = flag.Int("figure", 0, "figure number to regenerate (1 or 3)")
-		all    = flag.Bool("all", false, "regenerate every table and figure")
-		source = flag.String("source", "paper", "model source: 'paper' (published Table II models) or 'measured' (full pipeline)")
+		table     = flag.Int("table", 0, "table number to regenerate (1-7)")
+		figure    = flag.Int("figure", 0, "figure number to regenerate (1 or 3)")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		source    = flag.String("source", "paper", "model source: 'paper' (published Table II models) or 'measured' (full pipeline)")
+		faults    = flag.String("faults", "", "fault-injection spec for -source measured, e.g. 'seed=7,kill=0.3,drop=0.001' (see extrareq.ParseFaultSpec)")
+		retries   = flag.Int("retries", 2, "per-configuration retry budget for failed measurement runs")
+		minPoints = flag.Int("min-points", 0, "per-axis coverage threshold for degradation warnings (0 = the paper's five-point rule)")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *table, *figure, *all, *source); err != nil {
+	if err := run(os.Stdout, os.Stderr, *table, *figure, *all, *source, *faults, *retries, *minPoints); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, table, figure int, all bool, source string) error {
-	apps, classes, err := resolveApps(source)
+func run(w, errw io.Writer, table, figure int, all bool, source, faults string, retries, minPoints int) error {
+	apps, classes, err := resolveApps(errw, source, faults, retries, minPoints)
 	if err != nil {
 		return err
 	}
@@ -110,14 +122,41 @@ func run(w io.Writer, table, figure int, all bool, source string) error {
 }
 
 // resolveApps returns the requirements models per the chosen source, plus
-// (in measured mode) the Figure 3 error classes of the fits.
-func resolveApps(source string) ([]extrareq.App, []extrareq.ErrorClass, error) {
+// (in measured mode) the Figure 3 error classes of the fits. With a fault
+// spec, the measurements run through the resilient pipeline and each app's
+// campaign report is printed to errw.
+func resolveApps(errw io.Writer, source, faults string, retries, minPoints int) ([]extrareq.App, []extrareq.ErrorClass, error) {
 	switch source {
 	case "paper":
+		if faults != "" {
+			return nil, nil, fmt.Errorf("-faults needs -source measured (paper models are not measured)")
+		}
 		return extrareq.PaperApps(), nil, nil
 	case "measured":
-		fmt.Fprintln(os.Stderr, "repro: measuring all five proxy applications (this takes a few seconds)...")
-		fits, classes, err := extrareq.MeasureAndModelAll()
+		var fits []*extrareq.Requirements
+		var classes []extrareq.ErrorClass
+		var err error
+		if faults == "" && retries <= 0 {
+			fmt.Fprintln(errw, "repro: measuring all five proxy applications (this takes a few seconds)...")
+			fits, classes, err = extrareq.MeasureAndModelAll()
+		} else {
+			var plan *extrareq.FaultPlan
+			if faults != "" {
+				if plan, err = extrareq.ParseFaultSpec(faults); err != nil {
+					return nil, nil, err
+				}
+				fmt.Fprintf(errw, "repro: measuring all five proxy applications under injected faults (%s)...\n", plan)
+			} else {
+				fmt.Fprintln(errw, "repro: measuring all five proxy applications (this takes a few seconds)...")
+			}
+			var reports []*extrareq.CampaignReport
+			fits, classes, reports, err = extrareq.MeasureAndModelAllResilient(plan, retries, minPoints)
+			for _, r := range reports {
+				if r != nil && (plan != nil || r.Degraded()) {
+					fmt.Fprint(errw, r.Render())
+				}
+			}
+		}
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -11,11 +12,11 @@ import (
 func TestRunAllPaperMode(t *testing.T) {
 	var buf strings.Builder
 	for _, table := range []int{1, 2, 3, 4, 5, 6, 7} {
-		if err := run(&buf, table, 0, false, "paper"); err != nil {
+		if err := run(&buf, io.Discard, table, 0, false, "paper", "", 0, 0); err != nil {
 			t.Fatalf("table %d: %v", table, err)
 		}
 	}
-	if err := run(&buf, 0, 1, false, "paper"); err != nil {
+	if err := run(&buf, io.Discard, 0, 1, false, "paper", "", 0, 0); err != nil {
 		t.Fatalf("figure 1: %v", err)
 	}
 	out := buf.String()
@@ -40,13 +41,50 @@ func TestRunAllPaperMode(t *testing.T) {
 
 func TestRunRejectsUnknownSource(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, 1, 0, false, "bogus"); err == nil {
+	if err := run(&buf, io.Discard, 1, 0, false, "bogus", "", 0, 0); err == nil {
 		t.Fatal("unknown source accepted")
 	}
 }
 
+func TestRunRejectsFaultsInPaperMode(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, io.Discard, 1, 0, false, "paper", "seed=1,kill=0.5", 2, 0); err == nil {
+		t.Fatal("-faults accepted with -source paper")
+	}
+}
+
+func TestRunRejectsBadFaultSpec(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, io.Discard, 2, 0, false, "measured", "kill=banana", 2, 0); err == nil {
+		t.Fatal("malformed fault spec accepted")
+	}
+}
+
+// TestRunMeasuredWithFaults is the deliberately-faulty pipeline run: Table
+// II regenerated on a simulated system that kills ranks, with retries
+// recovering the campaign. The campaign reports must land on the
+// diagnostic writer and the table must still come out.
+func TestRunMeasuredWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full measured pipeline in -short mode")
+	}
+	var buf, diag strings.Builder
+	if err := run(&buf, &diag, 2, 0, false, "measured", "seed=7,kill=0.2", 6, 0); err != nil {
+		t.Fatalf("faulty measured run failed: %v\ndiagnostics:\n%s", err, diag.String())
+	}
+	if !strings.Contains(buf.String(), "Table II: Per-process requirements models") {
+		t.Error("faulty measured run produced no Table II")
+	}
+	reports := diag.String()
+	for _, want := range []string{"injected faults", "campaign report: Kripke", "campaign report: icoFoam", "verdict:"} {
+		if !strings.Contains(reports, want) {
+			t.Errorf("diagnostics missing %q:\n%s", want, reports)
+		}
+	}
+}
+
 func TestAppByName(t *testing.T) {
-	apps, _, err := resolveApps("paper")
+	apps, _, err := resolveApps(io.Discard, "paper", "", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

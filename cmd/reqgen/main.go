@@ -8,6 +8,13 @@
 //	reqgen -app Kripke -out kripke.json
 //	reqgen -all -dir measurements/
 //	reqgen -app MILC -procs 4,8,16,32,64 -ns 512,1024,2048,4096,8192
+//	reqgen -app Kripke -faults seed=7,kill=0.3,drop=0.001 -retries 4
+//
+// With -faults, the campaign runs on a deliberately unreliable simulated
+// system: failed configurations are retried up to -retries times with
+// backoff, repeatedly failing ones are quarantined, and a campaign report
+// (including -min-points axis-coverage warnings) goes to stderr. The
+// written measurement file then contains only the surviving samples.
 package main
 
 import (
@@ -35,8 +42,19 @@ func main() {
 		ns      = flag.String("ns", "", "comma-separated problem sizes (default per-app grid)")
 		seed    = flag.Int64("seed", 42, "measurement jitter seed")
 		format  = flag.String("format", "json", "output format: 'json' or 'extrap' (Extra-P text input)")
+
+		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'seed=7,kill=0.3,drop=0.001' (see extrareq.ParseFaultSpec)")
+		retries   = flag.Int("retries", 2, "per-configuration retry budget for failed measurement runs")
+		minPoints = flag.Int("min-points", 0, "per-axis coverage threshold for degradation warnings (0 = the paper's five-point rule)")
 	)
 	flag.Parse()
+	var plan *extrareq.FaultPlan
+	if *faults != "" {
+		var err error
+		if plan, err = extrareq.ParseFaultSpec(*faults); err != nil {
+			fatal(err)
+		}
+	}
 	if !*all && *appName == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -67,10 +85,21 @@ func main() {
 		grids[i], measured[i] = grid, a
 	}
 
+	// Warn about sparse grids before measuring: the five-configurations
+	// rule of thumb (§II-C) is advisory, so the campaign still runs.
+	for i, name := range names {
+		for _, w := range grids[i].FivePointWarnings() {
+			fmt.Fprintf(os.Stderr, "reqgen: %s: warning: %s\n", name, w)
+		}
+	}
+
 	// Measure the apps concurrently (each campaign also fans its (p, n)
 	// configurations across all cores); files are written afterwards in
-	// the deterministic name order.
+	// the deterministic name order. With a fault plan or a retry budget the
+	// resilient runner retries and quarantines failing configurations and
+	// reports per-campaign degradation afterwards.
 	campaigns := make([]*workload.Campaign, len(names))
+	reports := make([]*workload.CampaignReport, len(names))
 	errs := make([]error, len(names))
 	var wg sync.WaitGroup
 	for i := range names {
@@ -79,10 +108,25 @@ func main() {
 			defer wg.Done()
 			fmt.Fprintf(os.Stderr, "reqgen: measuring %s over %d configurations...\n",
 				names[i], len(grids[i].Procs)*len(grids[i].Ns))
-			campaigns[i], errs[i] = workload.Run(measured[i], grids[i])
+			if plan == nil && *retries <= 0 {
+				campaigns[i], errs[i] = workload.Run(measured[i], grids[i])
+				return
+			}
+			r := &workload.ResilientRunner{
+				App:       measured[i],
+				Faults:    plan,
+				Retries:   *retries,
+				MinPoints: *minPoints,
+			}
+			campaigns[i], reports[i], errs[i] = r.Run(grids[i])
 		}(i)
 	}
 	wg.Wait()
+	for _, r := range reports {
+		if r != nil && (plan != nil || r.Degraded()) {
+			fmt.Fprint(os.Stderr, r.Render())
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			fatal(err)

@@ -31,6 +31,7 @@ import (
 	"extrareq/internal/metrics"
 	"extrareq/internal/modeling"
 	"extrareq/internal/report"
+	"extrareq/internal/simmpi"
 	"extrareq/internal/stats"
 	"extrareq/internal/workload"
 )
@@ -121,6 +122,94 @@ func MeasureAndModelAll() ([]*Requirements, []ErrorClass, error) {
 		}
 	}
 	return workload.FitAllParallel(campaigns, nil, 0, NewFitCache())
+}
+
+// Fault injection and resilient measurement (§II-C robustness: campaigns
+// on unreliable systems must degrade loudly, never silently).
+
+type (
+	// FaultPlan is a seeded, deterministic fault-injection plan for the
+	// simulated MPI runtime: rank kills, message drops/delays/duplicates,
+	// and bounded counter perturbation.
+	FaultPlan = simmpi.FaultPlan
+	// RankError reports the death of one simulated rank (injected or an
+	// application panic), with its event count and, for panics, the stack.
+	RankError = simmpi.RankError
+	// ResilientRunner measures a campaign with per-configuration retries,
+	// quarantine, and graceful degradation.
+	ResilientRunner = workload.ResilientRunner
+	// CampaignReport accounts for a resilient campaign: retries, losses,
+	// and five-point-rule coverage of the surviving grid.
+	CampaignReport = workload.CampaignReport
+	// AxisWarning flags a parameter axis below the five-point rule.
+	AxisWarning = workload.AxisWarning
+)
+
+// NewFaultPlan returns an inactive plan with the given seed; set fault
+// fields (Kill, Drop, ...) to activate it.
+func NewFaultPlan(seed int64) *FaultPlan { return simmpi.NewFaultPlan(seed) }
+
+// ParseFaultSpec parses a command-line fault specification such as
+// "seed=7,kill=0.3,drop=0.01" (see simmpi.ParseFaultSpec for the grammar).
+func ParseFaultSpec(spec string) (*FaultPlan, error) { return simmpi.ParseFaultSpec(spec) }
+
+// MeasureResilient measures the named app over the grid under the fault
+// plan, retrying failed configurations up to retries times and quarantining
+// the ones that keep failing. The report says what was lost and whether the
+// surviving coverage still satisfies minPoints (0 selects the paper's
+// five-point rule) per axis.
+func MeasureResilient(appName string, grid Grid, plan *FaultPlan, retries, minPoints int) (*Campaign, *CampaignReport, error) {
+	app, ok := apps.ByName(appName)
+	if !ok {
+		return nil, nil, fmt.Errorf("extrareq: unknown application %q (have %v)", appName, apps.Names())
+	}
+	r := &ResilientRunner{App: app, Faults: plan, Retries: retries, MinPoints: minPoints}
+	return r.Run(grid)
+}
+
+// MeasureAndModelAllResilient is MeasureAndModelAll on an unreliable
+// system: every campaign runs under the fault plan with retries and
+// quarantine, and the per-app campaign reports (in PaperAppNames order)
+// come back alongside the fits so callers can qualify degraded models.
+// Each app derives its own fault seed from the plan, so apps fail
+// independently but deterministically.
+func MeasureAndModelAllResilient(plan *FaultPlan, retries, minPoints int) ([]*Requirements, []ErrorClass, []*CampaignReport, error) {
+	all := apps.All()
+	campaigns := make([]*Campaign, len(all))
+	reports := make([]*CampaignReport, len(all))
+	errs := make([]error, len(all))
+	var wg sync.WaitGroup
+	for i, a := range all {
+		wg.Add(1)
+		go func(i int, a apps.App) {
+			defer wg.Done()
+			r := &ResilientRunner{
+				App:       a,
+				Faults:    plan.Derive(appSalt(a.Name())),
+				Retries:   retries,
+				MinPoints: minPoints,
+			}
+			campaigns[i], reports[i], errs[i] = r.Run(workload.DefaultGrid(a.Name()))
+		}(i, a)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, reports, err
+		}
+	}
+	fits, classes, err := workload.FitAllParallel(campaigns, nil, 0, NewFitCache())
+	return fits, classes, reports, err
+}
+
+// appSalt hashes an app name into a fault-seed salt (FNV-1a).
+func appSalt(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range []byte(name) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // FitCache deduplicates model fits across campaigns with identical

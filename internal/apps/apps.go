@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"extrareq/internal/simmpi"
 	"extrareq/internal/trace"
@@ -40,6 +41,23 @@ type Config struct {
 	// Seed drives the deterministic measurement jitter (convergence
 	// variation); runs with the same Config are bit-reproducible.
 	Seed int64
+	// Faults optionally injects deterministic failures (rank kills, message
+	// drops/delays/duplicates, counter perturbation) into the simulated run;
+	// nil measures a healthy system. See simmpi.FaultPlan.
+	Faults *simmpi.FaultPlan
+	// Timeout overrides the runtime's run watchdog; 0 keeps the simmpi
+	// default. Resilient campaign runners set a short timeout so runs hung
+	// by injected message loss fail fast instead of stalling the campaign.
+	Timeout time.Duration
+}
+
+// runOptions maps the config's runtime knobs onto simmpi options (nil when
+// every knob is at its default, preserving the zero-allocation fast path).
+func (c Config) runOptions() *simmpi.Options {
+	if c.Faults == nil && c.Timeout == 0 {
+		return nil
+	}
+	return &simmpi.Options{Faults: c.Faults, Timeout: c.Timeout}
 }
 
 func (c Config) String() string {

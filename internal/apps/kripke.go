@@ -43,7 +43,7 @@ func (k *Kripke) Run(cfg Config) ([]simmpi.Result, error) {
 		return nil, err
 	}
 	g, d := k.Groups, k.Directions
-	return simmpi.Run(cfg.Procs, func(p *simmpi.Proc) error {
+	return simmpi.RunOpt(cfg.Procs, cfg.runOptions(), func(p *simmpi.Proc) error {
 		n := cfg.N
 		jit := jitter(cfg, "kripke", 0.02)
 

@@ -37,7 +37,7 @@ func (l *LULESH) Run(cfg Config) ([]simmpi.Result, error) {
 	if err := cfg.validate(1); err != nil {
 		return nil, err
 	}
-	return simmpi.Run(cfg.Procs, func(p *simmpi.Proc) error {
+	return simmpi.RunOpt(cfg.Procs, cfg.runOptions(), func(p *simmpi.Proc) error {
 		n := cfg.N
 		levels := int(math.Max(1, math.Ceil(log2i(n))))
 		jit := jitter(cfg, "lulesh", 0.02)

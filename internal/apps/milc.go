@@ -40,7 +40,7 @@ func (m *MILC) Run(cfg Config) ([]simmpi.Result, error) {
 	if err := cfg.validate(2); err != nil {
 		return nil, err
 	}
-	return simmpi.Run(cfg.Procs, func(p *simmpi.Proc) error {
+	return simmpi.RunOpt(cfg.Procs, cfg.runOptions(), func(p *simmpi.Proc) error {
 		n := cfg.N
 		jit := jitter(cfg, "milc", 0.02)
 

@@ -40,7 +40,7 @@ func (r *Relearn) Run(cfg Config) ([]simmpi.Result, error) {
 	if err := cfg.validate(2); err != nil {
 		return nil, err
 	}
-	return simmpi.Run(cfg.Procs, func(p *simmpi.Proc) error {
+	return simmpi.RunOpt(cfg.Procs, cfg.runOptions(), func(p *simmpi.Proc) error {
 		n := cfg.N
 		jit := jitter(cfg, "relearn", 0.02)
 

@@ -12,6 +12,15 @@ func FuzzRead(f *testing.F) {
 	f.Add("PARAMETER x\nPOINTS 1 2 3\nMETRIC m\nDATA 1\nDATA 2\nDATA 3\n")
 	f.Add("PARAMETER p\nPARAMETER n\nPOINTS (1,2)\nREGION r\nMETRIC m\nDATA 0.5 0.25\n")
 	f.Add("# comment only\n")
+	// Keyword-ordering edge cases: repeated POINTS sections, a PARAMETER
+	// after POINTS, DATA before any METRIC, and stray section keywords with
+	// no operands.
+	f.Add("PARAMETER p\nPOINTS 1 2\nPOINTS 3 4\nMETRIC m\nDATA 1\nDATA 2\n")
+	f.Add("PARAMETER p\nPOINTS 1 2\nPARAMETER n\nMETRIC m\nDATA 1\n")
+	f.Add("PARAMETER p\nPOINTS 1\nDATA 1\n")
+	f.Add("POINTS\nMETRIC\nDATA\n")
+	f.Add("PARAMETER p\nPOINTS (1) (2)\nMETRIC m\nDATA 1 1\nDATA 2 2\n")
+	f.Add("PARAMETER p\nPOINTS 1e308 -1e308\nMETRIC m\nDATA nan\nDATA inf\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		e, err := Read(strings.NewReader(in))
 		if err != nil {
@@ -27,6 +36,12 @@ func FuzzRead(f *testing.F) {
 		}
 		if len(back.Points) != len(e.Points) {
 			t.Fatalf("points changed in round trip: %d -> %d", len(e.Points), len(back.Points))
+		}
+		if len(back.Parameters) != len(e.Parameters) {
+			t.Fatalf("parameters changed in round trip: %d -> %d", len(e.Parameters), len(back.Parameters))
+		}
+		if len(back.Data) != len(e.Data) {
+			t.Fatalf("regions changed in round trip: %d -> %d", len(e.Data), len(back.Data))
 		}
 	})
 }

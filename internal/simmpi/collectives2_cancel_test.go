@@ -1,0 +1,80 @@
+package simmpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Cancellation-path tests for the second-tier collectives: a rank that
+// never joins (parked on a self-receive) must leave its peers blocked
+// *inside* the collective, and the watchdog must unwind them into
+// ErrCancelled instead of hanging the run. Companion to
+// TestCancelledCollective, which covers Allreduce.
+
+// runWithAbsentRank runs body on every rank except `absent`, which parks on
+// a self-receive, and asserts the run times out with at least one rank
+// cancelled while blocked in the collective.
+func runWithAbsentRank(t *testing.T, size, absent int, body func(p *Proc)) {
+	t.Helper()
+	results, err := RunOpt(size, &Options{Timeout: 50 * time.Millisecond}, func(p *Proc) error {
+		if p.Rank() == absent {
+			p.Recv(p.Rank()) // never joins: the collective cannot complete
+			return nil
+		}
+		body(p)
+		return nil
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	cancelled := 0
+	for r, res := range results {
+		if r != absent && errors.Is(res.Err, ErrCancelled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no participating rank was cancelled from inside the collective")
+	}
+}
+
+func TestCancelledGather(t *testing.T) {
+	// Rank 0 absent: the root blocks in Recv(0) inside MPI_Gather.
+	runWithAbsentRank(t, 4, 0, func(p *Proc) {
+		p.Gather(1, []float64{float64(p.Rank())})
+	})
+}
+
+func TestCancelledScatter(t *testing.T) {
+	// The root is absent: every non-root blocks in Recv(root) inside
+	// MPI_Scatter.
+	runWithAbsentRank(t, 4, 0, func(p *Proc) {
+		p.Scatter(0, nil)
+	})
+}
+
+func TestCancelledReduceScatter(t *testing.T) {
+	// Rank 0 is both reduce root and scatter root; with it absent the
+	// surviving ranks finish their reduce sends and then park in the
+	// scatter's Recv(0).
+	runWithAbsentRank(t, 4, 0, func(p *Proc) {
+		p.ReduceScatter([]float64{1, 2, 3, 4}, Sum)
+	})
+}
+
+func TestCancelledAllgather(t *testing.T) {
+	// Ring algorithm: rank 0's neighbours block in SendRecv inside
+	// MPI_Allgather.
+	runWithAbsentRank(t, 4, 0, func(p *Proc) {
+		p.Allgather([]float64{float64(p.Rank())})
+	})
+}
+
+func TestCancelledScan(t *testing.T) {
+	// Linear chain: every rank downstream of the absent rank blocks in
+	// Recv(rank-1) inside MPI_Scan.
+	runWithAbsentRank(t, 4, 1, func(p *Proc) {
+		p.Scan([]float64{1}, Sum)
+	})
+}

@@ -1,0 +1,376 @@
+package simmpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"extrareq/internal/counters"
+)
+
+// Deterministic fault injection.
+//
+// A FaultPlan describes the failures a run should suffer: a rank that dies
+// at a chosen communication event, point-to-point messages that are
+// dropped, delayed, or duplicated in flight, and counter readings that are
+// perturbed by a bounded factor. All decisions are derived from the plan's
+// seed with per-rank generators, and every decision point sits in a rank's
+// own program order, so a plan produces the same faults on every run and
+// under every goroutine schedule — a prerequisite for reproducing a failed
+// measurement campaign.
+//
+// Semantics of the fault kinds:
+//
+//   - Kill: the victim rank unwinds at its KillEvent-th communication call
+//     and its result carries a *RankError with Injected=true. The world is
+//     cancelled, so surviving ranks unwind with ErrCancelled instead of
+//     blocking on the dead rank until the watchdog fires.
+//   - Drop: the payload is counted as injected (BytesSent/MsgsSent) but
+//     never delivered; the receiver typically parks until cancellation.
+//   - Delay: delivery is postponed by a deterministic duration bounded by
+//     MaxDelay. Pure latency — counters and results are unaffected.
+//   - Dup: the receiver sees the message twice. Send-side counters count
+//     the message once (the duplicate is created inside the network).
+//   - Perturb: on clean rank completion every counter reading is scaled by
+//     a factor drawn from [1-Perturb, 1+Perturb], emulating noisy readings
+//     that yield a plausible but wrong sample.
+type FaultPlan struct {
+	// Seed drives every fault decision. Two runs with the same plan are
+	// fault-identical; use Derive to vary faults across retries.
+	Seed int64
+	// KillRank, if >= 0, names a rank that dies at its KillEvent-th
+	// communication event (Send/Recv/Isend/Irecv/Wait call; collectives
+	// count through their constituent point-to-point calls).
+	KillRank int
+	// KillEvent is the 1-based event count at which KillRank dies. 0 means
+	// the first event.
+	KillEvent int64
+	// Kill is the probability that the run loses one rank (uniformly
+	// chosen, at an event within killWindow), in addition to any explicit
+	// KillRank. The victim and event are resolved from the seed before the
+	// ranks start, keeping the choice schedule-independent.
+	Kill float64
+	// Drop, Delay, Dup are per-message probabilities applied on the send
+	// side of every point-to-point transfer.
+	Drop, Delay, Dup float64
+	// MaxDelay bounds an injected delivery delay. 0 means DefaultMaxDelay.
+	MaxDelay time.Duration
+	// Perturb is the bounded relative error applied to every counter of a
+	// cleanly finishing rank (0.02 = readings off by up to ±2%).
+	Perturb float64
+}
+
+// DefaultMaxDelay bounds injected message delays when MaxDelay is 0.
+const DefaultMaxDelay = 200 * time.Microsecond
+
+// killWindow is the event range [1, killWindow] from which a probabilistic
+// kill event is drawn. Small on purpose: a victim dies early enough to be
+// observed even by short runs.
+const killWindow = 128
+
+// NewFaultPlan returns an empty plan (no faults) with the given seed;
+// callers set the fault fields they want. KillRank is initialised to -1.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{Seed: seed, KillRank: -1}
+}
+
+// Derive returns a copy of the plan with a seed mixed from the plan seed
+// and salt. Retrying a failed configuration with a derived plan redraws
+// every fault decision while staying fully deterministic. A nil plan
+// derives nil.
+func (f *FaultPlan) Derive(salt uint64) *FaultPlan {
+	if f == nil {
+		return nil
+	}
+	d := *f
+	d.Seed = int64(splitmix64(uint64(f.Seed) ^ salt))
+	return &d
+}
+
+// Active reports whether the plan injects any fault at all.
+func (f *FaultPlan) Active() bool {
+	if f == nil {
+		return false
+	}
+	return f.KillRank >= 0 || f.Kill > 0 || f.Drop > 0 || f.Delay > 0 || f.Dup > 0 || f.Perturb > 0
+}
+
+// String renders the plan in the ParseFaultSpec grammar.
+func (f *FaultPlan) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", f.Seed)}
+	if f.KillRank >= 0 {
+		parts = append(parts, fmt.Sprintf("kill=%d@%d", f.KillRank, f.KillEvent))
+	}
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	add("kill", f.Kill)
+	add("drop", f.Drop)
+	add("delay", f.Delay)
+	add("dup", f.Dup)
+	add("perturb", f.Perturb)
+	if f.MaxDelay > 0 && f.MaxDelay != DefaultMaxDelay {
+		parts = append(parts, "maxdelay="+f.MaxDelay.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseFaultSpec parses a comma-separated fault specification, e.g.
+//
+//	seed=7,kill=0.3,drop=0.01,dup=0.005,delay=0.05,perturb=0.02
+//	kill=1@250            (kill rank 1 at its 250th communication event)
+//
+// Keys: seed=<int>, kill=<prob>|<rank>@<event>, drop=<prob>,
+// delay=<prob>, dup=<prob>, maxdelay=<duration>, perturb=<frac>.
+// Probabilities must lie in [0, 1] and perturb in [0, 1).
+func ParseFaultSpec(spec string) (*FaultPlan, error) {
+	f := NewFaultPlan(0)
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("simmpi: fault spec item %q is not key=value", item)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		prob := func() (float64, error) {
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return 0, fmt.Errorf("simmpi: fault spec %s=%q: want a probability in [0,1]", key, val)
+			}
+			return p, nil
+		}
+		var err error
+		switch strings.ToLower(key) {
+		case "seed":
+			f.Seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("simmpi: fault spec seed=%q: %v", val, err)
+			}
+		case "kill":
+			if rankStr, evStr, targeted := strings.Cut(val, "@"); targeted {
+				rank, err1 := strconv.Atoi(rankStr)
+				ev, err2 := strconv.ParseInt(evStr, 10, 64)
+				if err1 != nil || err2 != nil || rank < 0 || ev < 0 {
+					return nil, fmt.Errorf("simmpi: fault spec kill=%q: want <rank>@<event> with rank, event >= 0", val)
+				}
+				f.KillRank, f.KillEvent = rank, ev
+			} else if f.Kill, err = prob(); err != nil {
+				return nil, err
+			}
+		case "drop":
+			if f.Drop, err = prob(); err != nil {
+				return nil, err
+			}
+		case "delay":
+			if f.Delay, err = prob(); err != nil {
+				return nil, err
+			}
+		case "dup":
+			if f.Dup, err = prob(); err != nil {
+				return nil, err
+			}
+		case "perturb":
+			if f.Perturb, err = prob(); err != nil {
+				return nil, err
+			}
+			if f.Perturb >= 1 {
+				return nil, fmt.Errorf("simmpi: fault spec perturb=%q: want a fraction in [0,1)", val)
+			}
+		case "maxdelay":
+			f.MaxDelay, err = time.ParseDuration(val)
+			if err != nil || f.MaxDelay < 0 {
+				return nil, fmt.Errorf("simmpi: fault spec maxdelay=%q: want a non-negative duration", val)
+			}
+		default:
+			return nil, fmt.Errorf("simmpi: unknown fault spec key %q (have seed, kill, drop, delay, dup, maxdelay, perturb)", key)
+		}
+	}
+	return f, nil
+}
+
+// RankError reports the death of one rank: an injected kill or a recovered
+// panic in the rank's body (application bug, invalid communication
+// argument). The runtime cancels the world when a rank dies, so the
+// surviving ranks report ErrCancelled and the run returns promptly instead
+// of waiting for the deadlock watchdog.
+type RankError struct {
+	// Rank is the rank that died.
+	Rank int
+	// Event is the number of communication events the rank had completed.
+	Event int64
+	// Injected is true when the death came from a FaultPlan.
+	Injected bool
+	// Reason is the panic value (or the injected-kill description).
+	Reason string
+	// Stack is the goroutine stack at the point of death (empty for
+	// injected kills, whose origin is the fault plan, not the code).
+	Stack string
+}
+
+// Error implements error.
+func (e *RankError) Error() string {
+	kind := "panicked"
+	if e.Injected {
+		kind = "killed by fault injection"
+	}
+	return fmt.Sprintf("simmpi: rank %d %s after %d communication events: %s", e.Rank, kind, e.Event, e.Reason)
+}
+
+// splitmix64 is the SplitMix64 mixing function — a cheap, high-quality
+// bijective hash used to derive independent seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// worldFaults is a FaultPlan resolved against a concrete world size: the
+// probabilistic kill is fixed to a (rank, event) pair before any rank
+// starts, so the victim does not depend on goroutine scheduling.
+type worldFaults struct {
+	plan     *FaultPlan
+	killAt   map[int]int64 // rank -> 1-based event of death
+	maxDelay time.Duration
+}
+
+// resolve fixes the plan's probabilistic choices for a world of the given
+// size.
+func (f *FaultPlan) resolve(size int) *worldFaults {
+	w := &worldFaults{plan: f, killAt: map[int]int64{}, maxDelay: f.MaxDelay}
+	if w.maxDelay <= 0 {
+		w.maxDelay = DefaultMaxDelay
+	}
+	if f.KillRank >= 0 && f.KillRank < size {
+		ev := f.KillEvent
+		if ev < 1 {
+			ev = 1
+		}
+		w.killAt[f.KillRank] = ev
+	}
+	if f.Kill > 0 {
+		rng := rand.New(rand.NewSource(int64(splitmix64(uint64(f.Seed)))))
+		if rng.Float64() < f.Kill {
+			victim := rng.Intn(size)
+			if _, taken := w.killAt[victim]; !taken {
+				w.killAt[victim] = 1 + rng.Int63n(killWindow)
+			}
+		}
+	}
+	return w
+}
+
+// forRank builds the per-rank fault state. Each rank owns an independent
+// generator seeded from (plan seed, rank), and consults it only from the
+// rank's own goroutine in program order — deterministic per construction.
+func (w *worldFaults) forRank(rank int) *rankFaults {
+	return &rankFaults{
+		rng:      rand.New(rand.NewSource(int64(splitmix64(uint64(w.plan.Seed)) ^ splitmix64(uint64(rank)+0x51ed2701)))),
+		killAt:   w.killAt[rank],
+		drop:     w.plan.Drop,
+		delay:    w.plan.Delay,
+		dup:      w.plan.Dup,
+		perturb:  w.plan.Perturb,
+		maxDelay: w.maxDelay,
+	}
+}
+
+// msgFate is the network's verdict on one point-to-point message.
+type msgFate int
+
+const (
+	fateDeliver msgFate = iota
+	fateDrop
+	fateDup
+)
+
+// rankFaults is the fault state of one rank. Not safe for concurrent use;
+// owned by the rank's goroutine.
+type rankFaults struct {
+	rng              *rand.Rand
+	killAt           int64
+	drop, delay, dup float64
+	perturb          float64
+	maxDelay         time.Duration
+}
+
+// killPanic unwinds a rank at its injected death event; recovered by the
+// runtime into a RankError.
+type killPanic struct{ event int64 }
+
+// event counts one communication call and fires the injected kill when the
+// rank reaches its death event.
+func (f *rankFaults) event(count int64) {
+	if f.killAt > 0 && count == f.killAt {
+		panic(killPanic{event: count})
+	}
+}
+
+// fate draws the verdict for one outgoing message, plus an injected delay.
+// Exactly one uniform draw decides drop/dup, keeping the generator stream
+// aligned across plans that differ only in probabilities.
+func (f *rankFaults) fate() (msgFate, time.Duration) {
+	var d time.Duration
+	u := f.rng.Float64()
+	if f.delay > 0 && f.rng.Float64() < f.delay {
+		d = time.Duration(f.rng.Float64() * float64(f.maxDelay))
+	}
+	switch {
+	case u < f.drop:
+		return fateDrop, d
+	case u < f.drop+f.dup:
+		return fateDup, d
+	default:
+		return fateDeliver, d
+	}
+}
+
+// perturbCounters applies the bounded reading error to every counter of a
+// cleanly finished rank.
+func (f *rankFaults) perturbCounters(cs *counters.Set) {
+	if f.perturb <= 0 {
+		return
+	}
+	for e := counters.Event(0); e < counters.NumEvents; e++ {
+		v := cs.Value(e)
+		if v == 0 {
+			continue
+		}
+		factor := 1 + f.perturb*(2*f.rng.Float64()-1)
+		target := int64(float64(v) * factor)
+		cs.Add(e, target-v)
+	}
+}
+
+// Kills lists the (rank, event) deaths a plan resolves to at the given
+// world size, in rank order — primarily for tests and reports.
+func (f *FaultPlan) Kills(size int) []struct {
+	Rank  int
+	Event int64
+} {
+	w := f.resolve(size)
+	ranks := make([]int, 0, len(w.killAt))
+	for r := range w.killAt {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	out := make([]struct {
+		Rank  int
+		Event int64
+	}, len(ranks))
+	for i, r := range ranks {
+		out[i] = struct {
+			Rank  int
+			Event int64
+		}{r, w.killAt[r]}
+	}
+	return out
+}

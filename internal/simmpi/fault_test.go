@@ -1,0 +1,373 @@
+package simmpi
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"extrareq/internal/counters"
+)
+
+// ringBody is a deterministic test body: rounds of neighbour exchange with
+// varying payload sizes plus some instrumented compute, touching every
+// counter the fault machinery can perturb.
+func ringBody(rounds int) func(*Proc) error {
+	return func(p *Proc) error {
+		p.Counters.Alloc(int64(1024 * (p.Rank() + 1)))
+		p.AddFlops(1000)
+		p.AddLoads(500)
+		p.AddStores(250)
+		right := (p.Rank() + 1) % p.Size()
+		left := (p.Rank() - 1 + p.Size()) % p.Size()
+		for i := 0; i < rounds; i++ {
+			msg := make([]float64, 1+i%5)
+			p.SendRecv(right, msg, left)
+		}
+		return nil
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	f, err := ParseFaultSpec("seed=7,kill=0.3,drop=0.01,dup=0.005,delay=0.05,perturb=0.02,maxdelay=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Seed != 7 || f.Kill != 0.3 || f.Drop != 0.01 || f.Dup != 0.005 ||
+		f.Delay != 0.05 || f.Perturb != 0.02 || f.MaxDelay != time.Millisecond {
+		t.Errorf("parsed plan %+v does not match spec", f)
+	}
+	if f.KillRank != -1 {
+		t.Errorf("KillRank = %d, want -1 (no targeted kill)", f.KillRank)
+	}
+
+	f, err = ParseFaultSpec("kill=1@250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.KillRank != 1 || f.KillEvent != 250 {
+		t.Errorf("targeted kill parsed as rank %d event %d, want 1@250", f.KillRank, f.KillEvent)
+	}
+
+	for _, bad := range []string{
+		"kill=2", "drop=-0.5", "perturb=1", "maxdelay=-1s", "bogus=1",
+		"kill=a@b", "seed=x", "drop", "kill=-1@5",
+	} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("spec %q accepted, want error", bad)
+		}
+	}
+}
+
+func TestFaultSpecStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"seed=7,kill=0.3,drop=0.01,dup=0.005,perturb=0.02",
+		"seed=0",
+		"seed=-3,kill=1@250,delay=0.5,maxdelay=2ms",
+	} {
+		f, err := ParseFaultSpec(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		back, err := ParseFaultSpec(f.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", f.String(), spec, err)
+		}
+		if *back != *f {
+			t.Errorf("round trip of %q: %+v != %+v", spec, back, f)
+		}
+	}
+}
+
+// TestTargetedKillProducesRankError verifies the injected-death path: the
+// victim's result carries a typed RankError at the requested event, the
+// world cancels so peers unwind promptly, and the run-level error names the
+// victim rather than a collaterally cancelled rank.
+func TestTargetedKillProducesRankError(t *testing.T) {
+	plan := NewFaultPlan(1)
+	plan.KillRank, plan.KillEvent = 1, 5
+	start := time.Now()
+	results, err := RunOpt(4, &Options{Faults: plan, Timeout: 30 * time.Second}, ringBody(50))
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("killed run took %v; rank death should cancel the world, not wait for the watchdog", elapsed)
+	}
+	if err == nil {
+		t.Fatal("run with a killed rank reported success")
+	}
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("run error %v does not wrap a RankError", err)
+	}
+	if re.Rank != 1 || !re.Injected || re.Event != 5 {
+		t.Errorf("RankError = %+v, want rank 1, injected, event 5", re)
+	}
+	if !errors.As(results[1].Err, &re) {
+		t.Errorf("victim result Err = %v, want RankError", results[1].Err)
+	}
+	cancelled := 0
+	for _, r := range results {
+		if errors.Is(r.Err, ErrCancelled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no surviving rank was cancelled by the victim's death")
+	}
+}
+
+// TestAppPanicBecomesRankErrorWithStack is the panic-containment
+// regression test: an application bug in one rank (here an out-of-range
+// Send target) must surface as a typed RankError carrying the rank id and
+// stack, cancel the world, and never take down the process.
+func TestAppPanicBecomesRankErrorWithStack(t *testing.T) {
+	results, err := RunOpt(3, &Options{Timeout: 30 * time.Second}, func(p *Proc) error {
+		if p.Rank() == 2 {
+			p.Send(99, []float64{1}) // out of range: application bug
+		}
+		p.Recv(p.Rank()) // peers park; must be unwound by the panic's cancel
+		return nil
+	})
+	if err == nil {
+		t.Fatal("run with panicking rank reported success")
+	}
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("run error %v does not wrap a RankError", err)
+	}
+	if re.Rank != 2 || re.Injected {
+		t.Errorf("RankError = %+v, want non-injected death of rank 2", re)
+	}
+	if !strings.Contains(re.Reason, "invalid rank 99") {
+		t.Errorf("RankError reason %q does not carry the panic message", re.Reason)
+	}
+	if !strings.Contains(re.Stack, "simmpi") {
+		t.Errorf("RankError stack missing or unusable:\n%s", re.Stack)
+	}
+	for _, r := range []int{0, 1} {
+		if !errors.Is(results[r].Err, ErrCancelled) {
+			t.Errorf("rank %d Err = %v, want ErrCancelled (unwound by rank 2's death)", r, results[r].Err)
+		}
+	}
+}
+
+// TestDropCausesTimeoutNotHang: with every message dropped, receivers can
+// never progress; the watchdog must resolve the run into ErrTimeout with
+// partial results.
+func TestDropCausesTimeoutNotHang(t *testing.T) {
+	plan := NewFaultPlan(2)
+	plan.Drop = 1
+	results, err := RunOpt(2, &Options{Faults: plan, Timeout: 100 * time.Millisecond}, ringBody(4))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want partial results for both ranks", len(results))
+	}
+	for _, r := range results {
+		// Senders still inject into the network; receivers see nothing.
+		if r.Counters.Value(counters.MsgsSent) == 0 {
+			t.Errorf("rank %d sent no messages despite drop-only faults", r.Rank)
+		}
+		if r.Counters.Value(counters.MsgsRecv) != 0 {
+			t.Errorf("rank %d received %d messages; drop=1 must deliver none",
+				r.Rank, r.Counters.Value(counters.MsgsRecv))
+		}
+	}
+}
+
+// TestDupDeliversTwice: with every message duplicated, a receiver that
+// drains the channel sees each payload twice while send-side counters
+// still record one message.
+func TestDupDeliversTwice(t *testing.T) {
+	plan := NewFaultPlan(3)
+	plan.Dup = 1
+	results, err := RunOpt(2, &Options{Faults: plan}, func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Send(1, []float64{42})
+			return nil
+		}
+		a, b := p.Recv(0), p.Recv(0)
+		if a[0] != 42 || b[0] != 42 {
+			return errors.New("duplicate payload mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results[0].Counters.Value(counters.MsgsSent); got != 1 {
+		t.Errorf("sender counted %d messages, want 1 (the duplicate is made in the network)", got)
+	}
+	if got := results[1].Counters.Value(counters.MsgsRecv); got != 2 {
+		t.Errorf("receiver counted %d messages, want 2", got)
+	}
+}
+
+// TestDelayIsPureLatency: delayed delivery must not change results or
+// counters, only timing.
+func TestDelayIsPureLatency(t *testing.T) {
+	run := func(plan *FaultPlan) []Result {
+		t.Helper()
+		results, err := RunOpt(4, &Options{Faults: plan}, ringBody(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	plan := NewFaultPlan(4)
+	plan.Delay, plan.MaxDelay = 1, 100*time.Microsecond
+	delayed, clean := run(plan), run(nil)
+	for r := range delayed {
+		a, _ := json.Marshal(delayed[r].Counters)
+		b, _ := json.Marshal(clean[r].Counters)
+		if string(a) != string(b) {
+			t.Errorf("rank %d counters changed under delay-only faults: %s != %s", r, a, b)
+		}
+	}
+}
+
+// TestPerturbBoundedAndDeterministic: perturbed readings stay within the
+// bound and are identical across runs with the same plan.
+func TestPerturbBoundedAndDeterministic(t *testing.T) {
+	plan := NewFaultPlan(5)
+	plan.Perturb = 0.1
+	run := func() []Result {
+		t.Helper()
+		results, err := RunOpt(2, &Options{Faults: plan}, ringBody(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	clean, err := RunOpt(2, nil, ringBody(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := run(), run()
+	perturbedSomething := false
+	for r := range a {
+		ja, _ := json.Marshal(a[r].Counters)
+		jb, _ := json.Marshal(b[r].Counters)
+		if string(ja) != string(jb) {
+			t.Errorf("rank %d perturbation not deterministic: %s != %s", r, ja, jb)
+		}
+		for e := counters.Event(0); e < counters.NumEvents; e++ {
+			v, ref := float64(a[r].Counters.Value(e)), float64(clean[r].Counters.Value(e))
+			if ref == 0 {
+				continue
+			}
+			if v < ref*0.89 || v > ref*1.11 {
+				t.Errorf("rank %d %v perturbed beyond ±10%%: %g vs %g", r, e, v, ref)
+			}
+			if v != ref {
+				perturbedSomething = true
+			}
+		}
+	}
+	if !perturbedSomething {
+		t.Error("perturb=0.1 changed no counter reading at all")
+	}
+}
+
+// TestFaultOutcomesDeterministic: the full fault mix (minus wall-clock
+// sensitive delay) yields byte-identical per-rank counters across repeated
+// runs of the same plan.
+func TestFaultOutcomesDeterministic(t *testing.T) {
+	plan := NewFaultPlan(6)
+	plan.Dup, plan.Perturb = 0.3, 0.05
+	run := func() string {
+		t.Helper()
+		// Send-only traffic so drops/dups never block: every rank streams
+		// to its right neighbour, and receivers drain exactly what arrived.
+		results, err := RunOpt(4, &Options{Faults: plan}, func(p *Proc) error {
+			right := (p.Rank() + 1) % p.Size()
+			for i := 0; i < 20; i++ {
+				p.Send(right, make([]float64, 1+i%5))
+			}
+			p.AddFlops(12345)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := json.Marshal(results[0].Counters)
+		for _, r := range results {
+			j, _ := json.Marshal(r.Counters)
+			out = append(out, j...)
+		}
+		return string(out)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same plan produced different outcomes:\n%s\n%s", a, b)
+	}
+}
+
+// TestFaultPlanDeriveAndKills: resolution of the probabilistic kill is
+// schedule-independent and Derive redraws it.
+func TestFaultPlanDeriveAndKills(t *testing.T) {
+	plan := NewFaultPlan(7)
+	plan.Kill = 1
+	a, b := plan.Kills(8), plan.Kills(8)
+	if len(a) != 1 {
+		t.Fatalf("kill=1 resolved to %d deaths, want exactly 1", len(a))
+	}
+	if a[0] != b[0] {
+		t.Errorf("kill resolution not deterministic: %+v != %+v", a[0], b[0])
+	}
+	if d := plan.Derive(1); d.Seed == plan.Seed {
+		t.Error("Derive(1) kept the seed")
+	}
+	if d := plan.Derive(1); *d != *plan.Derive(1) {
+		t.Error("Derive is not deterministic")
+	}
+}
+
+// TestInactivePlanAddsNothing: a nil or zero plan must leave the runtime
+// on its fault-free fast path.
+func TestInactivePlanAddsNothing(t *testing.T) {
+	if (*FaultPlan)(nil).Active() {
+		t.Error("nil plan reports Active")
+	}
+	if NewFaultPlan(99).Active() {
+		t.Error("empty plan reports Active")
+	}
+	clean, err := RunOpt(2, nil, ringBody(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inert, err := RunOpt(2, &Options{Faults: NewFaultPlan(99)}, ringBody(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range clean {
+		a, _ := json.Marshal(clean[r].Counters)
+		b, _ := json.Marshal(inert[r].Counters)
+		if string(a) != string(b) {
+			t.Errorf("rank %d counters differ under an inactive plan", r)
+		}
+	}
+}
+
+// FuzzParseFaultSpec hardens the spec parser: no panics on arbitrary
+// input, and every accepted plan round-trips through String.
+func FuzzParseFaultSpec(f *testing.F) {
+	f.Add("seed=7,kill=0.3,drop=0.01,dup=0.005,delay=0.05,perturb=0.02")
+	f.Add("kill=1@250")
+	f.Add("maxdelay=1ms")
+	f.Add(",,,")
+	f.Add("kill=0.3,kill=2@9")
+	f.Fuzz(func(t *testing.T, spec string) {
+		plan, err := ParseFaultSpec(spec)
+		if err != nil {
+			return // rejects are fine; panics are not
+		}
+		back, err := ParseFaultSpec(plan.String())
+		if err != nil {
+			t.Fatalf("accepted plan %q did not reparse: %v", plan.String(), err)
+		}
+		if *back != *plan {
+			t.Fatalf("round trip changed the plan: %+v != %+v", back, plan)
+		}
+	})
+}

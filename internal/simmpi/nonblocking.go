@@ -22,9 +22,8 @@ import (
 type Request struct {
 	proc *Proc
 	// send fields
-	dst  int
-	data []float64
-	sent bool
+	dst     int
+	pending [][]float64 // wire messages not yet enqueued (fault dup/defer)
 	// recv fields
 	src    int
 	isRecv bool
@@ -34,24 +33,30 @@ type Request struct {
 
 // Isend starts a nonblocking send to dst. The payload is copied
 // immediately, so the caller may reuse the slice. Byte counters are updated
-// at Isend time (the payload is committed to the network).
+// at Isend time (the payload is committed to the network). Fault injection
+// applies exactly as in Send: the message may be dropped, delayed, or
+// duplicated while the counters record one message.
 func (p *Proc) Isend(dst int, data []float64) *Request {
 	if dst < 0 || dst >= p.size {
 		panic(fmt.Sprintf("simmpi: Isend to invalid rank %d (size %d)", dst, p.size))
 	}
+	p.commEvent()
 	msg := append([]float64(nil), data...)
 	nbytes := int64(len(msg) * bytesPerElem)
 	p.Counters.Add(counters.BytesSent, nbytes)
 	p.Counters.Add(counters.MsgsSent, 1)
 	p.Prof.AddMetric("bytes_sent", float64(nbytes))
-	r := &Request{proc: p, dst: dst, data: msg}
-	select {
-	case p.world.chans[p.rank][dst] <- msg:
-		r.sent = true
-		r.done = true
-	default:
-		// Channel full: the transfer completes in Wait.
+	r := &Request{proc: p, dst: dst, pending: p.outgoing(msg)}
+	for len(r.pending) > 0 {
+		select {
+		case p.world.chans[p.rank][dst] <- r.pending[0]:
+			r.pending = r.pending[1:]
+		default:
+			// Channel full: the transfer completes in Wait.
+			return r
+		}
 	}
+	r.done = true
 	return r
 }
 
@@ -61,6 +66,7 @@ func (p *Proc) Irecv(src int) *Request {
 	if src < 0 || src >= p.size {
 		panic(fmt.Sprintf("simmpi: Irecv from invalid rank %d (size %d)", src, p.size))
 	}
+	p.commEvent()
 	return &Request{proc: p, src: src, isRecv: true}
 }
 
@@ -93,14 +99,14 @@ func (r *Request) Wait() []float64 {
 		r.done = true
 		return msg
 	}
-	if !r.sent {
+	for len(r.pending) > 0 {
 		p.checkCancel()
 		select {
-		case p.world.chans[p.rank][r.dst] <- r.data:
+		case p.world.chans[p.rank][r.dst] <- r.pending[0]:
+			r.pending = r.pending[1:]
 		case <-p.world.cancel:
 			panic(cancelPanic{})
 		}
-		r.sent = true
 	}
 	r.done = true
 	return nil

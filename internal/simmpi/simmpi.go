@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -83,6 +84,21 @@ type Proc struct {
 	// Prof is the process-local call-path profiler. Communication volume is
 	// attributed to the current call path automatically.
 	Prof *profile.Profiler
+
+	// events counts the rank's communication calls (Send/Recv/Isend/Irecv);
+	// faults holds the rank's resolved fault-injection state (nil when the
+	// run has no FaultPlan). Both are owned by the rank goroutine.
+	events int64
+	faults *rankFaults
+}
+
+// commEvent counts one communication call and fires an injected rank kill
+// when the rank reaches its death event.
+func (p *Proc) commEvent() {
+	p.events++
+	if p.faults != nil {
+		p.faults.event(p.events)
+	}
 }
 
 // Rank returns this process's rank in [0, Size).
@@ -136,6 +152,10 @@ type Options struct {
 	// on this last-resort path). 0 means DefaultDrainTimeout; NoTimeout
 	// waits forever.
 	DrainTimeout time.Duration
+	// Faults injects deterministic failures into the run (rank kills,
+	// message drops/delays/duplicates, counter perturbation). nil or an
+	// all-zero plan injects nothing. See FaultPlan.
+	Faults *FaultPlan
 }
 
 // resolveTimeouts maps the Options sentinels onto effective durations.
@@ -208,6 +228,12 @@ func RunContext(ctx context.Context, size int, opt *Options, body func(*Proc) er
 			w.chans[s][d] = make(chan []float64, depth)
 		}
 	}
+	// Resolve the fault plan (victim rank and death event) before any rank
+	// starts, so injected faults never depend on goroutine scheduling.
+	var wf *worldFaults
+	if opt != nil && opt.Faults.Active() {
+		wf = opt.Faults.resolve(size)
+	}
 	results := make([]Result, size)
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
@@ -221,19 +247,42 @@ func RunContext(ctx context.Context, size int, opt *Options, body func(*Proc) er
 				Counters: &counters.Set{},
 				Prof:     profile.New(),
 			}
+			if wf != nil {
+				p.faults = wf.forRank(rank)
+			}
 			// Each goroutine owns results[rank] exclusively; Run reads the
 			// slice only after wg.Wait() has established happens-before.
 			results[rank] = Result{Rank: rank, Counters: p.Counters, Profile: p.Prof}
 			defer func() {
 				if rec := recover(); rec != nil {
-					if _, ok := rec.(cancelPanic); ok {
+					switch rec := rec.(type) {
+					case cancelPanic:
 						results[rank].Err = ErrCancelled
-						return
+					case killPanic:
+						results[rank].Err = &RankError{
+							Rank: rank, Event: rec.event, Injected: true,
+							Reason: "injected rank kill",
+						}
+						// A dead rank can never serve its peers: cancel the
+						// world so they unwind instead of blocking until the
+						// watchdog fires.
+						w.doCancel()
+					default:
+						results[rank].Err = &RankError{
+							Rank: rank, Event: p.events,
+							Reason: fmt.Sprint(rec), Stack: string(debug.Stack()),
+						}
+						w.doCancel()
 					}
-					results[rank].Err = fmt.Errorf("simmpi: rank %d panicked: %v", rank, rec)
 				}
 			}()
-			results[rank].Err = body(p)
+			err := body(p)
+			if err == nil && p.faults != nil {
+				// Perturbed counter readings apply only to ranks that finish
+				// cleanly: a sample either fails loudly or reads noisily.
+				p.faults.perturbCounters(p.Counters)
+			}
+			results[rank].Err = err
 		}(r)
 	}
 	done := make(chan struct{})
@@ -277,10 +326,24 @@ func RunContext(ctx context.Context, size int, opt *Options, body func(*Proc) er
 		}
 		return results, cause
 	}
-	for _, res := range results {
-		if res.Err != nil {
-			return results, fmt.Errorf("simmpi: rank %d failed: %w", res.Rank, res.Err)
+	// A rank death cancels the world, so peers legitimately finish with
+	// ErrCancelled; surface the root-cause rank (the RankError) rather than
+	// the first collaterally cancelled one.
+	var cancelled *Result
+	for i, res := range results {
+		if res.Err == nil {
+			continue
 		}
+		if errors.Is(res.Err, ErrCancelled) {
+			if cancelled == nil {
+				cancelled = &results[i]
+			}
+			continue
+		}
+		return results, fmt.Errorf("simmpi: rank %d failed: %w", res.Rank, res.Err)
+	}
+	if cancelled != nil {
+		return results, fmt.Errorf("simmpi: rank %d failed: %w", cancelled.Rank, cancelled.Err)
 	}
 	return results, nil
 }
@@ -308,21 +371,50 @@ func (p *Proc) checkCancel() {
 
 // Send transmits data to rank dst. The payload is copied, so the caller may
 // reuse the slice. Sending to self is allowed (buffered).
+//
+// Under a FaultPlan the message may be dropped (counted as injected but
+// never delivered), delayed (pure latency), or duplicated (delivered
+// twice); the send-side counters always record exactly one message.
 func (p *Proc) Send(dst int, data []float64) {
 	if dst < 0 || dst >= p.size {
 		panic(fmt.Sprintf("simmpi: Send to invalid rank %d (size %d)", dst, p.size))
 	}
 	p.checkCancel()
+	p.commEvent()
 	msg := append([]float64(nil), data...)
-	select {
-	case p.world.chans[p.rank][dst] <- msg:
-	case <-p.world.cancel:
-		panic(cancelPanic{})
+	for _, m := range p.outgoing(msg) {
+		select {
+		case p.world.chans[p.rank][dst] <- m:
+		case <-p.world.cancel:
+			panic(cancelPanic{})
+		}
 	}
 	nbytes := int64(len(data) * bytesPerElem)
 	p.Counters.Add(counters.BytesSent, nbytes)
 	p.Counters.Add(counters.MsgsSent, 1)
 	p.Prof.AddMetric("bytes_sent", float64(nbytes))
+}
+
+// outgoing applies the rank's fault state to one outbound payload and
+// returns the wire messages to enqueue: the payload itself, nothing (drop),
+// or the payload plus an aliasing-safe duplicate. An injected delay sleeps
+// here, before any delivery.
+func (p *Proc) outgoing(msg []float64) [][]float64 {
+	if p.faults == nil {
+		return [][]float64{msg}
+	}
+	fate, delay := p.faults.fate()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	switch fate {
+	case fateDrop:
+		return nil
+	case fateDup:
+		return [][]float64{msg, append([]float64(nil), msg...)}
+	default:
+		return [][]float64{msg}
+	}
 }
 
 // Recv receives the next message from rank src.
@@ -331,6 +423,7 @@ func (p *Proc) Recv(src int) []float64 {
 		panic(fmt.Sprintf("simmpi: Recv from invalid rank %d (size %d)", src, p.size))
 	}
 	p.checkCancel()
+	p.commEvent()
 	var msg []float64
 	select {
 	case msg = <-p.world.chans[src][p.rank]:

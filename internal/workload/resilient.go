@@ -1,0 +1,373 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"extrareq/internal/apps"
+	"extrareq/internal/locality"
+	"extrareq/internal/modeling"
+	"extrareq/internal/simmpi"
+)
+
+// ResilientRunner measures a campaign on an unreliable system: runs that
+// fail (injected or real rank deaths, hangs resolved by the watchdog,
+// application errors) are retried with exponential backoff under a bounded
+// retry budget, configurations that keep failing are quarantined instead of
+// aborting the campaign, and the surviving grid is checked against the
+// paper's five-point rule so a degraded campaign can never silently produce
+// an under-constrained model. Every decision is deterministic: the fault
+// seed of each run is derived from (plan seed, p, n, attempt, repeat), so
+// the same plan yields byte-identical campaign outcomes across runs and
+// worker counts.
+type ResilientRunner struct {
+	// App is the application to measure.
+	App apps.App
+	// Faults is the base fault plan injected into every run; each
+	// (configuration, attempt, repeat) derives its own seed from it. nil
+	// measures a healthy system (retries then only guard against real
+	// failures).
+	Faults *simmpi.FaultPlan
+	// Retries is the per-configuration retry budget: how many extra
+	// attempts a failing configuration gets after its first. Negative
+	// counts as 0.
+	Retries int
+	// Backoff is the first retry's backoff; it doubles per attempt, capped
+	// at maxBackoff. 0 means DefaultBackoff.
+	Backoff time.Duration
+	// RunTimeout is the per-run watchdog. 0 selects DefaultRunTimeout when
+	// the plan drops messages (message loss turns into a hang, which must
+	// fail fast) and the simmpi default otherwise — kills self-cancel and
+	// need no short watchdog, and shortening it for them would let a slow
+	// healthy run time out spuriously under CPU oversubscription, making
+	// attempt counts scheduling-dependent.
+	RunTimeout time.Duration
+	// MinPoints is the per-axis coverage threshold for degradation
+	// warnings. 0 means FivePointRule.
+	MinPoints int
+	// Workers bounds the configurations measured concurrently (<= 0
+	// selects GOMAXPROCS).
+	Workers int
+	// Sleep replaces time.Sleep for backoff waits (test hook). nil uses
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Resilience defaults.
+const (
+	// DefaultBackoff is the first retry's backoff.
+	DefaultBackoff = 10 * time.Millisecond
+	// DefaultRunTimeout bounds one measurement run under a message-drop
+	// plan: a run hung by an injected drop fails after this long instead of
+	// stalling the campaign for the simmpi default watchdog.
+	DefaultRunTimeout = 5 * time.Second
+	// maxBackoff caps the exponential backoff growth.
+	maxBackoff = time.Second
+)
+
+// ConfigOutcome records the measurement history of one (p, n)
+// configuration.
+type ConfigOutcome struct {
+	P int `json:"p"`
+	N int `json:"n"`
+	// Attempts is the number of runs made (1 for a clean first attempt).
+	Attempts int `json:"attempts"`
+	// Quarantined marks a configuration lost after exhausting the retry
+	// budget; its sample is excluded from the campaign.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Errors holds one message per failed attempt.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// CampaignReport is the structured account of a resilient campaign: what
+// was retried, what was lost, and whether the surviving grid still
+// satisfies the paper's five-point rule. Callers must consult Degraded
+// before trusting models fitted from the campaign.
+type CampaignReport struct {
+	App string `json:"app"`
+	// Plan is the base fault plan in ParseFaultSpec grammar ("" = none).
+	Plan string `json:"plan,omitempty"`
+	// Configs is the number of grid configurations.
+	Configs int `json:"configs"`
+	// Recovered counts configurations that failed at least once and then
+	// succeeded within the retry budget.
+	Recovered int `json:"recovered"`
+	// ExtraRuns counts the failed runs that were retried or quarantined.
+	ExtraRuns int `json:"extra_runs"`
+	// Quarantined lists the lost configurations in campaign (p-major,
+	// n-minor) order.
+	Quarantined []ConfigOutcome `json:"quarantined,omitempty"`
+	// Outcomes holds every configuration's history in campaign order.
+	Outcomes []ConfigOutcome `json:"outcomes"`
+	// AxisWarnings flags parameter axes whose surviving coverage fell
+	// below the five-point rule (§II-C).
+	AxisWarnings []AxisWarning `json:"axis_warnings,omitempty"`
+}
+
+// Degraded reports whether the campaign lost configurations or axis
+// coverage, i.e. whether a fit from it is weaker than the grid promised.
+func (r *CampaignReport) Degraded() bool {
+	return len(r.Quarantined) > 0 || len(r.AxisWarnings) > 0
+}
+
+// Render formats the report for humans (deterministic output).
+func (r *CampaignReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign report: %s over %d configurations", r.App, r.Configs)
+	if r.Plan != "" {
+		fmt.Fprintf(&b, " (faults: %s)", r.Plan)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  recovered: %d configuration(s) after retries (%d extra run(s))\n", r.Recovered, r.ExtraRuns)
+	if len(r.Quarantined) > 0 {
+		fmt.Fprintf(&b, "  quarantined: %d configuration(s)\n", len(r.Quarantined))
+		for _, q := range r.Quarantined {
+			last := "unknown error"
+			if len(q.Errors) > 0 {
+				last = q.Errors[len(q.Errors)-1]
+			}
+			fmt.Fprintf(&b, "    p=%d n=%d: %d attempt(s), last error: %s\n", q.P, q.N, q.Attempts, last)
+		}
+	}
+	for _, w := range r.AxisWarnings {
+		fmt.Fprintf(&b, "  warning: %s\n", w)
+	}
+	if r.Degraded() {
+		b.WriteString("  verdict: DEGRADED fit — treat the models below as weakly constrained\n")
+	} else {
+		b.WriteString("  verdict: full fit\n")
+	}
+	return b.String()
+}
+
+// configSalt mixes a configuration's identity into a fault-seed salt, so
+// every (configuration, attempt, repeat) draws independent faults.
+func configSalt(p, n, attempt, repeat int) uint64 {
+	return uint64(p)*0x9e3779b97f4a7c15 ^
+		uint64(n)*0xbf58476d1ce4e5b9 ^
+		uint64(attempt)*0x94d049bb133111eb ^
+		uint64(repeat)*0x2545f4914f6cdd1d
+}
+
+func (r *ResilientRunner) sleep(d time.Duration) {
+	if r.Sleep != nil {
+		r.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+func (r *ResilientRunner) runTimeout() time.Duration {
+	if r.RunTimeout != 0 {
+		return r.RunTimeout
+	}
+	if r.Faults.Active() && r.Faults.Drop > 0 {
+		return DefaultRunTimeout
+	}
+	return 0
+}
+
+// measureOnce executes every repeat of one configuration with the
+// attempt's derived fault seeds and aggregates the sample exactly like
+// RunParallel.
+func (r *ResilientRunner) measureOnce(grid Grid, p, n, attempt int, stackDistance float64) (Sample, error) {
+	repeats := grid.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	s := Sample{P: p, N: n, Values: map[string]float64{}}
+	for rep := 0; rep < repeats; rep++ {
+		var plan *simmpi.FaultPlan
+		if r.Faults.Active() {
+			plan = r.Faults.Derive(configSalt(p, n, attempt, rep))
+		}
+		results, err := r.App.Run(apps.Config{
+			Procs:   p,
+			N:       n,
+			Seed:    grid.Seed + int64(rep)*1_000_003,
+			Faults:  plan,
+			Timeout: r.runTimeout(),
+		})
+		if err != nil {
+			return Sample{}, fmt.Errorf("%s at p=%d n=%d attempt %d: %w", r.App.Name(), p, n, attempt+1, err)
+		}
+		vals := extract(results, stackDistance)
+		if repeats > 1 {
+			s.Runs = append(s.Runs, vals)
+		}
+		for k, v := range vals {
+			s.Values[k] += v / float64(repeats)
+		}
+	}
+	return s, nil
+}
+
+// measureConfig drives the retry loop of one configuration: exponential
+// backoff between attempts, quarantine once the budget is exhausted.
+func (r *ResilientRunner) measureConfig(grid Grid, p, n int, stackDistance float64) (Sample, ConfigOutcome) {
+	attempts := 1
+	if r.Retries > 0 {
+		attempts += r.Retries
+	}
+	backoff := r.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	out := ConfigOutcome{P: p, N: n}
+	for a := 0; a < attempts; a++ {
+		out.Attempts = a + 1
+		s, err := r.measureOnce(grid, p, n, a, stackDistance)
+		if err == nil {
+			return s, out
+		}
+		out.Errors = append(out.Errors, err.Error())
+		if a < attempts-1 {
+			r.sleep(backoff)
+			if backoff < maxBackoff {
+				backoff *= 2
+			}
+		}
+	}
+	out.Quarantined = true
+	return Sample{}, out
+}
+
+// Run measures the app over the grid with retries and quarantine, and
+// returns the campaign of surviving samples (p-major/n-minor order, lost
+// configurations omitted) together with the campaign report. Run fails
+// only when the grid is invalid or when no configuration survives; losing
+// part of the grid degrades the report instead.
+func (r *ResilientRunner) Run(grid Grid) (*Campaign, *CampaignReport, error) {
+	if r.App == nil {
+		return nil, nil, fmt.Errorf("workload: ResilientRunner has no App")
+	}
+	if err := grid.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	// Locality probes run outside the simulated MPI runtime and are not
+	// subject to injected faults (the paper measured them on a separate
+	// system, §III).
+	stackByN := map[int]float64{}
+	for _, n := range grid.Ns {
+		an := locality.NewAnalyzer()
+		an.MaxSamplesPerGroup = probeCap
+		r.App.LocalityProbe(n, an)
+		groups := locality.FilterGroups(an.Groups(), locality.DefaultMinSamples)
+		stackByN[n] = locality.MedianStackDistance(groups)
+	}
+
+	type config struct{ p, n int }
+	var configs []config
+	for _, p := range grid.Procs {
+		for _, n := range grid.Ns {
+			configs = append(configs, config{p, n})
+		}
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(configs) {
+		workers = len(configs)
+	}
+	samples := make([]Sample, len(configs))
+	outcomes := make([]ConfigOutcome, len(configs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(configs) {
+					return
+				}
+				p, n := configs[i].p, configs[i].n
+				samples[i], outcomes[i] = r.measureConfig(grid, p, n, stackByN[n])
+			}
+		}()
+	}
+	wg.Wait()
+
+	report := &CampaignReport{App: r.App.Name(), Configs: len(configs), Outcomes: outcomes}
+	if r.Faults.Active() {
+		report.Plan = r.Faults.String()
+	}
+	c := &Campaign{App: r.App.Name(), Grid: grid}
+	survivingP, survivingN := map[int]bool{}, map[int]bool{}
+	for i, out := range outcomes {
+		if out.Quarantined {
+			report.Quarantined = append(report.Quarantined, out)
+			report.ExtraRuns += out.Attempts - 1
+			continue
+		}
+		if out.Attempts > 1 {
+			report.Recovered++
+			report.ExtraRuns += out.Attempts - 1
+		}
+		c.Samples = append(c.Samples, samples[i])
+		survivingP[out.P], survivingN[out.N] = true, true
+	}
+	report.AxisWarnings = coverageWarnings(survivingP, survivingN, r.minPoints())
+	if len(c.Samples) == 0 {
+		return nil, report, fmt.Errorf("workload: %s campaign lost all %d configurations (retry budget %d); last error: %s",
+			r.App.Name(), len(configs), r.Retries, lastError(outcomes))
+	}
+	return c, report, nil
+}
+
+func (r *ResilientRunner) minPoints() int {
+	if r.MinPoints > 0 {
+		return r.MinPoints
+	}
+	return FivePointRule
+}
+
+// RunAndFit is Run followed by a graceful-degradation fit: the models are
+// generated from whatever grid points survived, and the report carries the
+// axis warnings that tell the caller how constrained those models really
+// are. The fit error (e.g. a metric with no surviving measurements) is
+// returned alongside the report, never silently.
+func (r *ResilientRunner) RunAndFit(grid Grid, opts *modeling.Options) (*Campaign, *FitResult, *CampaignReport, error) {
+	c, report, err := r.Run(grid)
+	if err != nil {
+		return nil, nil, report, err
+	}
+	fit, err := Fit(c, opts)
+	if err != nil {
+		return c, nil, report, fmt.Errorf("workload: degraded campaign could not be fitted: %w", err)
+	}
+	return c, fit, report, nil
+}
+
+// coverageWarnings converts surviving axis coverage into five-point-rule
+// warnings against the given threshold.
+func coverageWarnings(pVals, nVals map[int]bool, required int) []AxisWarning {
+	var out []AxisWarning
+	if len(pVals) < required {
+		out = append(out, AxisWarning{Param: "p", Points: len(pVals), Required: required})
+	}
+	if len(nVals) < required {
+		out = append(out, AxisWarning{Param: "n", Points: len(nVals), Required: required})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Param < out[j].Param })
+	return out
+}
+
+// lastError extracts the most recent failure message from the outcomes,
+// for the all-lost error path.
+func lastError(outcomes []ConfigOutcome) string {
+	for i := len(outcomes) - 1; i >= 0; i-- {
+		if n := len(outcomes[i].Errors); n > 0 {
+			return outcomes[i].Errors[n-1]
+		}
+	}
+	return "no error recorded"
+}

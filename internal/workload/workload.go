@@ -34,12 +34,68 @@ type Grid struct {
 	Repeats int `json:"repeats,omitempty"`
 }
 
-// Validate checks the paper's five-configurations rule of thumb.
+// FivePointRule is the paper's rule of thumb (§II-C): at least five
+// distinct values per model parameter, or the generator risks an
+// under-constrained model.
+const FivePointRule = 5
+
+// AxisWarning reports a parameter axis that violates the five-point rule.
+type AxisWarning struct {
+	// Param is the model parameter ("p" or "n").
+	Param string `json:"param"`
+	// Points is the number of distinct values available on the axis.
+	Points int `json:"points"`
+	// Required is the rule-of-thumb minimum (FivePointRule).
+	Required int `json:"required"`
+}
+
+func (w AxisWarning) String() string {
+	return fmt.Sprintf("parameter %s has %d distinct points, below the paper's %d-point rule (§II-C): models in %s may be under-constrained",
+		w.Param, w.Points, w.Required, w.Param)
+}
+
+// distinctCount returns the number of distinct values on an axis.
+func distinctCount(axis []int) int {
+	seen := map[int]bool{}
+	for _, v := range axis {
+		seen[v] = true
+	}
+	return len(seen)
+}
+
+// Validate rejects grids the pipeline cannot measure at all: an empty axis,
+// or a non-positive process count or problem size. The paper's softer
+// five-configurations rule of thumb is reported by FivePointWarnings — a
+// sparse grid still measures, it just yields weakly constrained models.
 func (g Grid) Validate() error {
 	if len(g.Procs) == 0 || len(g.Ns) == 0 {
 		return fmt.Errorf("workload: empty grid")
 	}
+	for _, p := range g.Procs {
+		if p < 1 {
+			return fmt.Errorf("workload: invalid process count %d in grid", p)
+		}
+	}
+	for _, n := range g.Ns {
+		if n < 1 {
+			return fmt.Errorf("workload: invalid problem size %d in grid", n)
+		}
+	}
 	return nil
+}
+
+// FivePointWarnings checks the paper's five-configurations rule of thumb
+// (§II-C): one warning per parameter axis with fewer than FivePointRule
+// distinct values. An empty slice means the grid satisfies the rule.
+func (g Grid) FivePointWarnings() []AxisWarning {
+	var out []AxisWarning
+	if c := distinctCount(g.Procs); c < FivePointRule {
+		out = append(out, AxisWarning{Param: "p", Points: c, Required: FivePointRule})
+	}
+	if c := distinctCount(g.Ns); c < FivePointRule {
+		out = append(out, AxisWarning{Param: "n", Points: c, Required: FivePointRule})
+	}
+	return out
 }
 
 // DefaultProcs is the default process-count axis.

@@ -49,6 +49,44 @@ func TestGridValidate(t *testing.T) {
 	if _, err := Run(apps.NewKripke(), Grid{}); err == nil {
 		t.Error("Run should reject empty grid")
 	}
+	if err := (Grid{Procs: []int{0, 2}, Ns: []int{64}}).Validate(); err == nil {
+		t.Error("non-positive process count should fail")
+	}
+	if err := (Grid{Procs: []int{2}, Ns: []int{64, -1}}).Validate(); err == nil {
+		t.Error("non-positive problem size should fail")
+	}
+	// The five-configurations rule of thumb (§II-C) is a warning, not a
+	// validation error: sparse grids still measure.
+	sparse := Grid{Procs: []int{2, 4}, Ns: []int{64}}
+	if err := sparse.Validate(); err != nil {
+		t.Errorf("sparse but measurable grid rejected: %v", err)
+	}
+}
+
+func TestFivePointWarnings(t *testing.T) {
+	sparse := Grid{Procs: []int{2, 4}, Ns: []int{64}}
+	warns := sparse.FivePointWarnings()
+	if len(warns) != 2 {
+		t.Fatalf("got %d warnings for a 2x1 grid, want one per axis", len(warns))
+	}
+	if warns[0].Param != "p" || warns[0].Points != 2 || warns[0].Required != FivePointRule {
+		t.Errorf("p warning = %+v", warns[0])
+	}
+	if warns[1].Param != "n" || warns[1].Points != 1 {
+		t.Errorf("n warning = %+v", warns[1])
+	}
+	// Distinct values count, not axis length: duplicated points do not
+	// satisfy the rule.
+	dup := Grid{Procs: []int{2, 2, 2, 2, 2}, Ns: []int{1, 2, 3, 4, 5}}
+	warns = dup.FivePointWarnings()
+	if len(warns) != 1 || warns[0].Param != "p" || warns[0].Points != 1 {
+		t.Errorf("duplicated p axis warnings = %+v, want one p warning with 1 distinct point", warns)
+	}
+	for _, a := range apps.All() {
+		if warns := DefaultGrid(a.Name()).FivePointWarnings(); len(warns) != 0 {
+			t.Errorf("%s default grid violates the five-point rule: %+v", a.Name(), warns)
+		}
+	}
 }
 
 func TestDefaultGridsCoverAllApps(t *testing.T) {

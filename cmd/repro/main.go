@@ -41,22 +41,63 @@ func main() {
 		faults    = flag.String("faults", "", "fault-injection spec for -source measured, e.g. 'seed=7,kill=0.3,drop=0.001' (see extrareq.ParseFaultSpec)")
 		retries   = flag.Int("retries", 2, "per-configuration retry budget for failed measurement runs")
 		minPoints = flag.Int("min-points", 0, "per-axis coverage threshold for degradation warnings (0 = the paper's five-point rule)")
+
+		tracePath   = flag.String("trace", "", "with -source measured: dump per-rank runtime events to this file (.json = Chrome trace_event, else JSONL)")
+		metricsPath = flag.String("metrics", "", "with -source measured: dump campaign/fit metrics to this file as JSON and print a campaign summary to stderr")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060 or :0)")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, os.Stderr, *table, *figure, *all, *source, *faults, *retries, *minPoints); err != nil {
+	o := obsFlags{trace: *tracePath, metrics: *metricsPath, pprof: *pprofAddr}
+	if err := run(os.Stdout, os.Stderr, *table, *figure, *all, *source, *faults, *retries, *minPoints, o); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w, errw io.Writer, table, figure int, all bool, source, faults string, retries, minPoints int) error {
-	apps, classes, err := resolveApps(errw, source, faults, retries, minPoints)
+// obsFlags carries the observability options: output paths for the event
+// trace and the metrics snapshot, and the pprof listen address.
+type obsFlags struct {
+	trace, metrics, pprof string
+}
+
+func run(w, errw io.Writer, table, figure int, all bool, source, faults string, retries, minPoints int, o obsFlags) error {
+	if o.pprof != "" {
+		addr, err := extrareq.StartPprofServer(o.pprof)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "repro: pprof server on http://%s/debug/pprof/\n", addr)
+	}
+	if (o.trace != "" || o.metrics != "") && source != "measured" {
+		return fmt.Errorf("-trace/-metrics need -source measured (paper models run nothing to observe)")
+	}
+	var reg *extrareq.MetricsRegistry
+	var tr *extrareq.Tracer
+	if o.metrics != "" {
+		reg = extrareq.NewMetricsRegistry()
+	}
+	if o.trace != "" {
+		tr = extrareq.NewTracer(0)
+	}
+	apps, classes, err := resolveApps(errw, source, faults, retries, minPoints, reg, tr)
 	if err != nil {
 		return err
+	}
+	if tr != nil {
+		if err := extrareq.WriteTraceFile(o.trace, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "repro: wrote event trace to %s\n", o.trace)
+	}
+	if reg != nil {
+		if err := extrareq.WriteMetricsFile(o.metrics, reg); err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "repro: wrote metrics to %s\n", o.metrics)
 	}
 	base := extrareq.DefaultBaseline()
 
@@ -124,8 +165,10 @@ func run(w, errw io.Writer, table, figure int, all bool, source, faults string, 
 // resolveApps returns the requirements models per the chosen source, plus
 // (in measured mode) the Figure 3 error classes of the fits. With a fault
 // spec, the measurements run through the resilient pipeline and each app's
-// campaign report is printed to errw.
-func resolveApps(errw io.Writer, source, faults string, retries, minPoints int) ([]extrareq.App, []extrareq.ErrorClass, error) {
+// campaign report is printed to errw. A non-nil registry or tracer also
+// forces the resilient pipeline (that is where the instrumentation lives);
+// with a registry, a campaign summary lands on errw.
+func resolveApps(errw io.Writer, source, faults string, retries, minPoints int, reg *extrareq.MetricsRegistry, tr *extrareq.Tracer) ([]extrareq.App, []extrareq.ErrorClass, error) {
 	switch source {
 	case "paper":
 		if faults != "" {
@@ -136,7 +179,7 @@ func resolveApps(errw io.Writer, source, faults string, retries, minPoints int) 
 		var fits []*extrareq.Requirements
 		var classes []extrareq.ErrorClass
 		var err error
-		if faults == "" && retries <= 0 {
+		if faults == "" && retries <= 0 && reg == nil && tr == nil {
 			fmt.Fprintln(errw, "repro: measuring all five proxy applications (this takes a few seconds)...")
 			fits, classes, err = extrareq.MeasureAndModelAll()
 		} else {
@@ -150,11 +193,14 @@ func resolveApps(errw io.Writer, source, faults string, retries, minPoints int) 
 				fmt.Fprintln(errw, "repro: measuring all five proxy applications (this takes a few seconds)...")
 			}
 			var reports []*extrareq.CampaignReport
-			fits, classes, reports, err = extrareq.MeasureAndModelAllResilient(plan, retries, minPoints)
+			fits, classes, reports, err = extrareq.MeasureAndModelAllResilientObserved(plan, retries, minPoints, reg, tr)
 			for _, r := range reports {
 				if r != nil && (plan != nil || r.Degraded()) {
 					fmt.Fprint(errw, r.Render())
 				}
+			}
+			if reg != nil {
+				fmt.Fprint(errw, extrareq.RenderCampaignSummary(reports, reg.Snapshot()))
 			}
 		}
 		if err != nil {

@@ -12,11 +12,11 @@ import (
 func TestRunAllPaperMode(t *testing.T) {
 	var buf strings.Builder
 	for _, table := range []int{1, 2, 3, 4, 5, 6, 7} {
-		if err := run(&buf, io.Discard, table, 0, false, "paper", "", 0, 0); err != nil {
+		if err := run(&buf, io.Discard, table, 0, false, "paper", "", 0, 0, obsFlags{}); err != nil {
 			t.Fatalf("table %d: %v", table, err)
 		}
 	}
-	if err := run(&buf, io.Discard, 0, 1, false, "paper", "", 0, 0); err != nil {
+	if err := run(&buf, io.Discard, 0, 1, false, "paper", "", 0, 0, obsFlags{}); err != nil {
 		t.Fatalf("figure 1: %v", err)
 	}
 	out := buf.String()
@@ -41,21 +41,21 @@ func TestRunAllPaperMode(t *testing.T) {
 
 func TestRunRejectsUnknownSource(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, io.Discard, 1, 0, false, "bogus", "", 0, 0); err == nil {
+	if err := run(&buf, io.Discard, 1, 0, false, "bogus", "", 0, 0, obsFlags{}); err == nil {
 		t.Fatal("unknown source accepted")
 	}
 }
 
 func TestRunRejectsFaultsInPaperMode(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, io.Discard, 1, 0, false, "paper", "seed=1,kill=0.5", 2, 0); err == nil {
+	if err := run(&buf, io.Discard, 1, 0, false, "paper", "seed=1,kill=0.5", 2, 0, obsFlags{}); err == nil {
 		t.Fatal("-faults accepted with -source paper")
 	}
 }
 
 func TestRunRejectsBadFaultSpec(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, io.Discard, 2, 0, false, "measured", "kill=banana", 2, 0); err == nil {
+	if err := run(&buf, io.Discard, 2, 0, false, "measured", "kill=banana", 2, 0, obsFlags{}); err == nil {
 		t.Fatal("malformed fault spec accepted")
 	}
 }
@@ -69,7 +69,7 @@ func TestRunMeasuredWithFaults(t *testing.T) {
 		t.Skip("full measured pipeline in -short mode")
 	}
 	var buf, diag strings.Builder
-	if err := run(&buf, &diag, 2, 0, false, "measured", "seed=7,kill=0.2", 6, 0); err != nil {
+	if err := run(&buf, &diag, 2, 0, false, "measured", "seed=7,kill=0.2", 6, 0, obsFlags{}); err != nil {
 		t.Fatalf("faulty measured run failed: %v\ndiagnostics:\n%s", err, diag.String())
 	}
 	if !strings.Contains(buf.String(), "Table II: Per-process requirements models") {
@@ -84,7 +84,7 @@ func TestRunMeasuredWithFaults(t *testing.T) {
 }
 
 func TestAppByName(t *testing.T) {
-	apps, _, err := resolveApps(io.Discard, "paper", "", 0, 0)
+	apps, _, err := resolveApps(io.Discard, "paper", "", 0, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

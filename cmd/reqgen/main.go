@@ -29,6 +29,8 @@ import (
 	"extrareq"
 	"extrareq/internal/apps"
 	"extrareq/internal/extrap"
+	"extrareq/internal/obs"
+	"extrareq/internal/report"
 	"extrareq/internal/workload"
 )
 
@@ -46,8 +48,27 @@ func main() {
 		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'seed=7,kill=0.3,drop=0.001' (see extrareq.ParseFaultSpec)")
 		retries   = flag.Int("retries", 2, "per-configuration retry budget for failed measurement runs")
 		minPoints = flag.Int("min-points", 0, "per-axis coverage threshold for degradation warnings (0 = the paper's five-point rule)")
+
+		tracePath   = flag.String("trace", "", "dump per-rank runtime events to this file (.json = Chrome trace_event, else JSONL)")
+		metricsPath = flag.String("metrics", "", "dump campaign metrics to this file as JSON and print a campaign summary to stderr")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060 or :0)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		addr, err := obs.StartPprofServer(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "reqgen: pprof server on http://%s/debug/pprof/\n", addr)
+	}
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	if *tracePath != "" {
+		tracer = obs.NewTracer(0)
+	}
 	var plan *extrareq.FaultPlan
 	if *faults != "" {
 		var err error
@@ -108,7 +129,7 @@ func main() {
 			defer wg.Done()
 			fmt.Fprintf(os.Stderr, "reqgen: measuring %s over %d configurations...\n",
 				names[i], len(grids[i].Procs)*len(grids[i].Ns))
-			if plan == nil && *retries <= 0 {
+			if plan == nil && *retries <= 0 && reg == nil && tracer == nil {
 				campaigns[i], errs[i] = workload.Run(measured[i], grids[i])
 				return
 			}
@@ -117,6 +138,8 @@ func main() {
 				Faults:    plan,
 				Retries:   *retries,
 				MinPoints: *minPoints,
+				Metrics:   reg,
+				Tracer:    tracer,
 			}
 			campaigns[i], reports[i], errs[i] = r.Run(grids[i])
 		}(i)
@@ -126,6 +149,19 @@ func main() {
 		if r != nil && (plan != nil || r.Degraded()) {
 			fmt.Fprint(os.Stderr, r.Render())
 		}
+	}
+	if tracer != nil {
+		if err := obs.WriteTraceFile(*tracePath, tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "reqgen: wrote event trace to %s\n", *tracePath)
+	}
+	if reg != nil {
+		if err := obs.WriteMetricsFile(*metricsPath, reg); err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(os.Stderr, report.CampaignSummary(reports, reg.Snapshot()))
+		fmt.Fprintf(os.Stderr, "reqgen: wrote metrics to %s\n", *metricsPath)
 	}
 	for _, err := range errs {
 		if err != nil {

@@ -30,6 +30,7 @@ import (
 	"extrareq/internal/machine"
 	"extrareq/internal/metrics"
 	"extrareq/internal/modeling"
+	"extrareq/internal/obs"
 	"extrareq/internal/report"
 	"extrareq/internal/simmpi"
 	"extrareq/internal/stats"
@@ -200,6 +201,86 @@ func MeasureAndModelAllResilient(plan *FaultPlan, retries, minPoints int) ([]*Re
 	}
 	fits, classes, err := workload.FitAllParallel(campaigns, nil, 0, NewFitCache())
 	return fits, classes, reports, err
+}
+
+// Observability (§II-C at scale: a campaign must explain itself — what ran,
+// what failed, and where the time went).
+
+type (
+	// MetricsRegistry is a lock-cheap registry of named counters, gauges,
+	// and bounded histograms; instruments are atomics on the hot path.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry, serializable
+	// as JSON.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer records per-rank simmpi events (send/recv/collective/fault/
+	// cancel) into bounded ring buffers, dumpable as JSONL or Chrome
+	// trace_event format.
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded runtime event.
+	TraceEvent = obs.Event
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer returns a tracer whose per-rank rings keep the most recent
+// eventsPerRank events (<= 0 selects obs.DefaultEventsPerRank). Exact
+// byte/message totals are maintained even after a ring wraps.
+func NewTracer(eventsPerRank int) *Tracer { return obs.NewTracer(eventsPerRank) }
+
+// MeasureAndModelAllResilientObserved is MeasureAndModelAllResilient
+// reporting into the registry (campaign_* and fit_* metrics) and, when tr
+// is non-nil, tracing every simulated run's communication and fault events.
+// Either observer may be nil to disable that half of the instrumentation.
+func MeasureAndModelAllResilientObserved(plan *FaultPlan, retries, minPoints int, reg *MetricsRegistry, tr *Tracer) ([]*Requirements, []ErrorClass, []*CampaignReport, error) {
+	all := apps.All()
+	campaigns := make([]*Campaign, len(all))
+	reports := make([]*CampaignReport, len(all))
+	errs := make([]error, len(all))
+	var wg sync.WaitGroup
+	for i, a := range all {
+		wg.Add(1)
+		go func(i int, a apps.App) {
+			defer wg.Done()
+			r := &ResilientRunner{
+				App:       a,
+				Faults:    plan.Derive(appSalt(a.Name())),
+				Retries:   retries,
+				MinPoints: minPoints,
+				Metrics:   reg,
+				Tracer:    tr,
+			}
+			campaigns[i], reports[i], errs[i] = r.Run(workload.DefaultGrid(a.Name()))
+		}(i, a)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, reports, err
+		}
+	}
+	fits, classes, err := workload.FitAllObserved(campaigns, nil, 0, NewFitCache(), reg)
+	return fits, classes, reports, err
+}
+
+// WriteTraceFile dumps the tracer to path: a ".json" suffix selects the
+// Chrome trace_event format, anything else the JSONL event stream with
+// per-ring summary records.
+func WriteTraceFile(path string, t *Tracer) error { return obs.WriteTraceFile(path, t) }
+
+// WriteMetricsFile dumps a registry snapshot to path as indented JSON.
+func WriteMetricsFile(path string, r *MetricsRegistry) error { return obs.WriteMetricsFile(path, r) }
+
+// StartPprofServer serves the net/http/pprof endpoints on addr (":0"
+// picks a free port) and returns the bound address.
+func StartPprofServer(addr string) (string, error) { return obs.StartPprofServer(addr) }
+
+// RenderCampaignSummary renders the observability summary of a measured
+// campaign: per-app resilience accounting plus the registry's counters and
+// histograms.
+func RenderCampaignSummary(reports []*CampaignReport, snap MetricsSnapshot) string {
+	return report.CampaignSummary(reports, snap)
 }
 
 // appSalt hashes an app name into a fault-seed salt (FNV-1a).

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"time"
 
+	"extrareq/internal/obs"
 	"extrareq/internal/simmpi"
 	"extrareq/internal/trace"
 )
@@ -49,15 +50,20 @@ type Config struct {
 	// default. Resilient campaign runners set a short timeout so runs hung
 	// by injected message loss fail fast instead of stalling the campaign.
 	Timeout time.Duration
+	// Tracer records the run's per-rank communication/fault/cancel events
+	// into bounded ring buffers; nil disables tracing. See obs.Tracer.
+	Tracer *obs.Tracer
+	// TraceTag labels the run's trace (ignored without a Tracer).
+	TraceTag string
 }
 
 // runOptions maps the config's runtime knobs onto simmpi options (nil when
 // every knob is at its default, preserving the zero-allocation fast path).
 func (c Config) runOptions() *simmpi.Options {
-	if c.Faults == nil && c.Timeout == 0 {
+	if c.Faults == nil && c.Timeout == 0 && c.Tracer == nil {
 		return nil
 	}
-	return &simmpi.Options{Faults: c.Faults, Timeout: c.Timeout}
+	return &simmpi.Options{Faults: c.Faults, Timeout: c.Timeout, Tracer: c.Tracer, TraceTag: c.TraceTag}
 }
 
 func (c Config) String() string {

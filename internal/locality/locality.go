@@ -99,10 +99,20 @@ func (a *Analyzer) Observe(addr uint64, group string) (Distance, bool) {
 func (a *Analyzer) Accesses() int64 { return a.clock }
 
 // GroupStats summarizes the distance samples of one instruction group.
+//
+// Samples counts every access that produced a distance; Retained counts
+// the subset whose distances were actually kept under MaxSamplesPerGroup.
+// The distance summaries (medians, max, mean) are computed from the
+// retained samples only, so when Truncated is set they describe the
+// *earliest* Retained distances of the group — a prefix, not a uniform
+// sample — while Samples remains the statistically correct weight for
+// cross-group aggregation (MedianStackDistance, FilterGroups).
 type GroupStats struct {
 	Group        string
 	Accesses     int64 // all accesses attributed to the group
 	Samples      int64 // accesses that produced a distance
+	Retained     int64 // distance samples retained under the cap
+	Truncated    bool  // true when the cap dropped samples (Retained < Samples)
 	FirstTouches int64 // accesses to never-before-seen addresses
 	MedianStack  float64
 	MedianReuse  float64
@@ -118,6 +128,8 @@ func (a *Analyzer) Groups() []GroupStats {
 			Group:        name,
 			Accesses:     g.accesses,
 			Samples:      g.samples,
+			Retained:     int64(len(g.stack)),
+			Truncated:    int64(len(g.stack)) < g.samples,
 			FirstTouches: g.firstTouches,
 		}
 		if len(g.stack) > 0 {

@@ -45,11 +45,15 @@ func Mean(xs []float64) float64 {
 	return Sum(xs) / float64(len(xs))
 }
 
-// Variance returns the unbiased sample variance of xs, or NaN when fewer
-// than two samples are available.
+// Variance returns the unbiased sample variance of xs. Fewer than two
+// samples carry no spread information, so Variance returns 0 explicitly
+// rather than NaN: a NaN would silently poison every downstream aggregate
+// (sums, intervals, renderings) the first time a configuration yields a
+// single surviving repetition, whereas 0 states "no observed variation",
+// which is what a one-sample campaign actually measured.
 func Variance(xs []float64) float64 {
 	if len(xs) < 2 {
-		return math.NaN()
+		return 0
 	}
 	m := Mean(xs)
 	k := NewKahan()
@@ -60,7 +64,8 @@ func Variance(xs []float64) float64 {
 	return k.Sum() / float64(len(xs)-1)
 }
 
-// StdDev returns the sample standard deviation of xs.
+// StdDev returns the sample standard deviation of xs (0 for fewer than
+// two samples, matching Variance).
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Median returns the median of xs, or NaN for an empty slice.

@@ -22,12 +22,26 @@ func TestMeanMedianBasics(t *testing.T) {
 }
 
 func TestEmptyInputsAreNaN(t *testing.T) {
-	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) || !math.IsNaN(Variance(nil)) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) {
 		t.Fatal("expected NaN for empty inputs")
 	}
 	lo, hi := MinMax(nil)
 	if !math.IsNaN(lo) || !math.IsNaN(hi) {
 		t.Fatal("expected NaN MinMax for empty input")
+	}
+}
+
+// TestVarianceUnderTwoSamplesIsZero: fewer than two samples must yield an
+// explicit 0 (no observed variation), never NaN — a NaN here poisons every
+// downstream aggregate the first time a campaign keeps a single rep.
+func TestVarianceUnderTwoSamplesIsZero(t *testing.T) {
+	for _, xs := range [][]float64{nil, {}, {3.7}} {
+		if got := Variance(xs); got != 0 {
+			t.Errorf("Variance(%v) = %g, want 0", xs, got)
+		}
+		if got := StdDev(xs); got != 0 {
+			t.Errorf("StdDev(%v) = %g, want 0", xs, got)
+		}
 	}
 }
 

@@ -16,13 +16,19 @@ package modeling
 //     GOMAXPROCS), each writing only its own result slot.
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"extrareq/internal/obs"
 )
 
 // Agg names a deterministic aggregator over repeated observations. Fit
@@ -74,12 +80,56 @@ type FitOutcome struct {
 	Err  error
 }
 
+// The fit_* metric names FitAllObserved reports under (documented in
+// DESIGN.md §6c).
+const (
+	// MetricFitTasks counts fit tasks processed (cache hits included).
+	MetricFitTasks = "fit_tasks_total"
+	// MetricFitCacheHits counts tasks served from the content cache.
+	MetricFitCacheHits = "fit_cache_hits_total"
+	// MetricFitErrors counts tasks whose fit returned an error.
+	MetricFitErrors = "fit_errors_total"
+	// MetricFitSeconds is the per-task latency histogram.
+	MetricFitSeconds = "fit_seconds"
+)
+
+// FitSecondsEdges is the bucket layout of MetricFitSeconds: exponential
+// from 10µs (a cache hit) to ~2.6s (a large multi-parameter search).
+func FitSecondsEdges() []float64 { return obs.ExpEdges(1e-5, 4, 10) }
+
+// fitMetrics caches the resolved instruments so workers touch only
+// atomics on the per-task path.
+type fitMetrics struct {
+	tasks, hits, errors *obs.Counter
+	seconds             *obs.Histogram
+}
+
+func newFitMetrics(r *obs.Registry) *fitMetrics {
+	if r == nil {
+		return nil
+	}
+	return &fitMetrics{
+		tasks:   r.Counter(MetricFitTasks),
+		hits:    r.Counter(MetricFitCacheHits),
+		errors:  r.Counter(MetricFitErrors),
+		seconds: r.Histogram(MetricFitSeconds, FitSecondsEdges()),
+	}
+}
+
 // FitAll fits every task across a pool of workers and returns the outcomes
 // in task order. workers <= 0 selects GOMAXPROCS. A non-nil cache memoizes
 // fits by content: tasks with identical parameters, measurements,
 // aggregator, and options share one fitted model (the returned *ModelInfo
 // is shared and must be treated as read-only).
 func FitAll(tasks []FitTask, workers int, cache *FitCache) []FitOutcome {
+	return FitAllObserved(tasks, workers, cache, nil)
+}
+
+// FitAllObserved is FitAll reporting into a metrics registry: task counts,
+// cache hits, fit errors, and a per-task latency histogram, with pprof
+// goroutine labels on the worker pool so fitting shows up attributably in
+// CPU and goroutine profiles. A nil registry makes it identical to FitAll.
+func FitAllObserved(tasks []FitTask, workers int, cache *FitCache, reg *obs.Registry) []FitOutcome {
 	out := make([]FitOutcome, len(tasks))
 	if len(tasks) == 0 {
 		return out
@@ -90,38 +140,57 @@ func FitAll(tasks []FitTask, workers int, cache *FitCache) []FitOutcome {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	fm := newFitMetrics(reg)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(tasks) {
-					return
+			labels := pprof.Labels("pool", "modeling.FitAll", "worker", strconv.Itoa(w))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					out[i] = fitOne(tasks[i], cache, fm)
 				}
-				out[i] = fitOne(tasks[i], cache)
-			}
-		}()
+			})
+		}(w)
 	}
 	wg.Wait()
 	return out
 }
 
 // fitOne runs one task, consulting the cache when provided.
-func fitOne(t FitTask, cache *FitCache) FitOutcome {
+func fitOne(t FitTask, cache *FitCache, fm *fitMetrics) FitOutcome {
+	var start time.Time
+	if fm != nil {
+		fm.tasks.Inc()
+		start = time.Now()
+		defer func() { fm.seconds.Observe(time.Since(start).Seconds()) }()
+	}
+	observe := func(o FitOutcome) FitOutcome {
+		if fm != nil && o.Err != nil {
+			fm.errors.Inc()
+		}
+		return o
+	}
 	if cache != nil {
 		fp := fingerprint(t)
 		if info, err, ok := cache.lookup(fp); ok {
-			return FitOutcome{Key: t.Key, Info: info, Err: err}
+			if fm != nil {
+				fm.hits.Inc()
+			}
+			return observe(FitOutcome{Key: t.Key, Info: info, Err: err})
 		}
 		info, err := FitMultiAggregated(t.Params, t.Ms, t.Agg.fn(), t.Opts)
 		info, err = cache.store(fp, info, err)
-		return FitOutcome{Key: t.Key, Info: info, Err: err}
+		return observe(FitOutcome{Key: t.Key, Info: info, Err: err})
 	}
 	info, err := FitMultiAggregated(t.Params, t.Ms, t.Agg.fn(), t.Opts)
-	return FitOutcome{Key: t.Key, Info: info, Err: err}
+	return observe(FitOutcome{Key: t.Key, Info: info, Err: err})
 }
 
 // FitCache memoizes fitted models under content fingerprints. Safe for

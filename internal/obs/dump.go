@@ -1,0 +1,70 @@
+package obs
+
+// File and server plumbing shared by the repro/reqgen commands: dump a
+// tracer or registry to a path (format chosen by extension) and serve the
+// standard pprof endpoints behind an opt-in flag.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+)
+
+// WriteTraceFile dumps the tracer to path. A ".json" suffix selects the
+// Chrome trace_event format (load via chrome://tracing or Perfetto); any
+// other suffix (conventionally ".jsonl") selects the JSONL event stream
+// with per-ring summary records.
+func WriteTraceFile(path string, t *Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = t.WriteChromeTrace(f)
+	} else {
+		err = t.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteMetricsFile dumps a registry snapshot to path as indented JSON.
+func WriteMetricsFile(path string, r *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = r.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// StartPprofServer serves the net/http/pprof endpoints (/debug/pprof/...)
+// on addr in a background goroutine and returns the bound address (useful
+// with ":0"). The listener lives until the process exits; campaign worker
+// pools carry pprof goroutine labels, so /debug/pprof/goroutine?debug=1
+// attributes workers to their pool.
+func StartPprofServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		srv := &http.Server{Handler: mux}
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-rank event tracing.
+//
+// A Tracer owns the rings of many simulated runs (a measurement campaign
+// performs one run per configuration×attempt×repeat). Each run registers
+// once (StartRun, mutex-guarded), preallocating one Ring per rank; from
+// then on every rank emits into its own ring with no synchronization at
+// all — the ring is owned by the rank goroutine, and the harness reads it
+// only after the run's goroutines have been joined. Rings are bounded: the
+// newest events overwrite the oldest, but per-ring byte/message totals are
+// exact regardless of capacity, so traced volumes always reconcile with
+// the counter-derived Table II metrics even when the event window wrapped.
+
+// Kind classifies a trace event.
+type Kind string
+
+// The event kinds of the simulated runtime.
+const (
+	// KindSend is a completed point-to-point send (blocking or Isend).
+	KindSend Kind = "send"
+	// KindRecv is a completed point-to-point receive (blocking or Wait).
+	KindRecv Kind = "recv"
+	// KindCollective marks entry into a collective (detail = MPI name).
+	KindCollective Kind = "coll"
+	// KindFault is an injected fault taking effect (detail = drop, delay,
+	// dup, kill) or an application panic (detail = panic).
+	KindFault Kind = "fault"
+	// KindCancel is a rank unwinding because the run was cancelled
+	// (timeout, context, or a peer's death).
+	KindCancel Kind = "cancel"
+)
+
+// Event is one record of a rank's trace.
+type Event struct {
+	// TS is nanoseconds since the tracer's epoch.
+	TS int64 `json:"ts_ns"`
+	// Seq is the 0-based index of the event within its rank's stream
+	// (monotonic even when the ring has dropped older events).
+	Seq int64 `json:"seq"`
+	// Kind classifies the event; Detail refines it (collective name, fault
+	// kind, cancel reason).
+	Kind   Kind   `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+	// Peer is the other rank of a point-to-point event, -1 otherwise.
+	Peer int `json:"peer"`
+	// Bytes is the payload size of a send/recv/collective event.
+	Bytes int64 `json:"bytes"`
+}
+
+// Ring is the bounded event buffer of one rank in one run. It is owned by
+// the rank's goroutine during the run; readers must wait for the run to
+// finish (the simulated runtime joins its rank goroutines before
+// returning, which establishes the needed happens-before edge).
+type Ring struct {
+	run  *RunTrace
+	rank int
+
+	buf []Event
+	n   int64 // events ever emitted; buf holds the newest min(n, cap)
+
+	sentBytes, recvBytes int64
+	sentMsgs, recvMsgs   int64
+}
+
+// Rank returns the rank this ring belongs to.
+func (r *Ring) Rank() int { return r.rank }
+
+// Emit appends one event, overwriting the oldest when the ring is full.
+func (r *Ring) Emit(kind Kind, detail string, peer int, bytes int64) {
+	e := Event{
+		TS:     time.Since(r.run.tracer.epoch).Nanoseconds(),
+		Seq:    r.n,
+		Kind:   kind,
+		Detail: detail,
+		Peer:   peer,
+		Bytes:  bytes,
+	}
+	r.buf[r.n%int64(len(r.buf))] = e
+	r.n++
+	switch kind {
+	case KindSend:
+		r.sentBytes += bytes
+		r.sentMsgs++
+	case KindRecv:
+		r.recvBytes += bytes
+		r.recvMsgs++
+	}
+}
+
+// Len returns the number of events currently held (<= capacity).
+func (r *Ring) Len() int {
+	if r.n < int64(len(r.buf)) {
+		return int(r.n)
+	}
+	return len(r.buf)
+}
+
+// Emitted returns the number of events ever emitted.
+func (r *Ring) Emitted() int64 { return r.n }
+
+// Dropped returns how many events were overwritten by newer ones.
+func (r *Ring) Dropped() int64 { return r.n - int64(r.Len()) }
+
+// SentBytes returns the exact total payload bytes of the ring's send
+// events, including events the bounded buffer has since dropped.
+func (r *Ring) SentBytes() int64 { return r.sentBytes }
+
+// RecvBytes returns the exact total payload bytes of the ring's recv
+// events, including events the bounded buffer has since dropped.
+func (r *Ring) RecvBytes() int64 { return r.recvBytes }
+
+// SentMsgs returns the exact total send-event count.
+func (r *Ring) SentMsgs() int64 { return r.sentMsgs }
+
+// RecvMsgs returns the exact total recv-event count.
+func (r *Ring) RecvMsgs() int64 { return r.recvMsgs }
+
+// Events returns the retained events in emission order (oldest first).
+func (r *Ring) Events() []Event {
+	n := int64(r.Len())
+	out := make([]Event, 0, n)
+	start := r.n - n
+	for i := start; i < r.n; i++ {
+		out = append(out, r.buf[i%int64(len(r.buf))])
+	}
+	return out
+}
+
+// RunTrace is the trace of one simulated run: one ring per rank.
+type RunTrace struct {
+	// ID is the 1-based registration order of the run within its tracer.
+	ID int64
+	// Tag is the caller-supplied label of the run (the campaign runner
+	// tags runs "app/p=../n=../attempt=../rep=..").
+	Tag string
+
+	tracer    *Tracer
+	rings     []*Ring
+	abandoned atomic.Bool
+}
+
+// Ring returns the ring of the given rank.
+func (rt *RunTrace) Ring(rank int) *Ring { return rt.rings[rank] }
+
+// Size returns the world size of the run.
+func (rt *RunTrace) Size() int { return len(rt.rings) }
+
+// Abandon marks the run's rings as unreadable: the runtime calls it when a
+// drain timeout expired and rank goroutines were abandoned while possibly
+// still writing. Dump paths skip abandoned runs instead of racing them.
+func (rt *RunTrace) Abandon() { rt.abandoned.Store(true) }
+
+// Abandoned reports whether the run was abandoned.
+func (rt *RunTrace) Abandoned() bool { return rt.abandoned.Load() }
+
+// Tracer collects per-rank event rings across runs. Create one per
+// campaign, hand it to the runtime via simmpi.Options.Tracer, and dump it
+// once the campaign is done.
+type Tracer struct {
+	perRank int
+	epoch   time.Time
+
+	mu   sync.Mutex
+	runs []*RunTrace
+}
+
+// DefaultEventsPerRank bounds a rank's ring when NewTracer is given a
+// non-positive capacity.
+const DefaultEventsPerRank = 4096
+
+// NewTracer returns a tracer whose rings hold eventsPerRank events each
+// (<= 0 selects DefaultEventsPerRank).
+func NewTracer(eventsPerRank int) *Tracer {
+	if eventsPerRank <= 0 {
+		eventsPerRank = DefaultEventsPerRank
+	}
+	return &Tracer{perRank: eventsPerRank, epoch: time.Now()}
+}
+
+// StartRun registers a run of the given world size and returns its trace
+// with one preallocated ring per rank.
+func (t *Tracer) StartRun(tag string, size int) *RunTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rt := &RunTrace{Tag: tag, tracer: t, ID: int64(len(t.runs) + 1)}
+	rt.rings = make([]*Ring, size)
+	for r := range rt.rings {
+		rt.rings[r] = &Ring{run: rt, rank: r, buf: make([]Event, t.perRank)}
+	}
+	t.runs = append(t.runs, rt)
+	return rt
+}
+
+// Runs returns the registered run traces in registration order.
+func (t *Tracer) Runs() []*RunTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*RunTrace(nil), t.runs...)
+}
+
+// jsonlRecord is one line of the JSONL dump: either an event (kind
+// send/recv/coll/fault/cancel) or a per-ring trailer (kind summary) whose
+// totals are exact even when the bounded ring dropped events.
+type jsonlRecord struct {
+	Run  int64  `json:"run"`
+	Tag  string `json:"tag,omitempty"`
+	Rank int    `json:"rank"`
+	Event
+	// Summary-record fields.
+	Events    int64 `json:"events,omitempty"`
+	Dropped   int64 `json:"dropped,omitempty"`
+	SentBytes int64 `json:"sent_bytes,omitempty"`
+	RecvBytes int64 `json:"recv_bytes,omitempty"`
+	SentMsgs  int64 `json:"sent_msgs,omitempty"`
+	RecvMsgs  int64 `json:"recv_msgs,omitempty"`
+	Abandoned bool  `json:"abandoned,omitempty"`
+}
+
+// KindSummary tags the per-ring trailer record of a JSONL dump.
+const KindSummary Kind = "summary"
+
+// WriteJSONL dumps every finished run as JSON Lines: the retained events
+// of every ring (run-major, rank-major, emission order) followed by one
+// summary record per ring carrying the exact byte/message totals. Call it
+// only after the traced runs have returned; abandoned runs contribute a
+// single marker record and no events.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rt := range t.Runs() {
+		if rt.Abandoned() {
+			if err := enc.Encode(jsonlRecord{Run: rt.ID, Tag: rt.Tag, Rank: -1, Event: Event{Kind: KindSummary, Peer: -1}, Abandoned: true}); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, ring := range rt.rings {
+			for _, e := range ring.Events() {
+				if err := enc.Encode(jsonlRecord{Run: rt.ID, Tag: rt.Tag, Rank: ring.rank, Event: e}); err != nil {
+					return err
+				}
+			}
+			sum := jsonlRecord{
+				Run: rt.ID, Tag: rt.Tag, Rank: ring.rank,
+				Event:     Event{Kind: KindSummary, Peer: -1},
+				Events:    ring.Emitted(),
+				Dropped:   ring.Dropped(),
+				SentBytes: ring.SentBytes(),
+				RecvBytes: ring.RecvBytes(),
+				SentMsgs:  ring.SentMsgs(),
+				RecvMsgs:  ring.RecvMsgs(),
+			}
+			if err := enc.Encode(sum); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format ("i" = instant
+// event, thread scope): runs map to pids, ranks to tids, so about:tracing
+// and Perfetto render one lane per rank.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Scope string         `json:"s,omitempty"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int64          `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace dumps the retained events in Chrome trace_event JSON
+// (load the file in about:tracing or https://ui.perfetto.dev). The same
+// post-run calling contract as WriteJSONL applies.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	for _, rt := range t.Runs() {
+		if rt.Abandoned() {
+			continue
+		}
+		for _, ring := range rt.rings {
+			for _, e := range ring.Events() {
+				name := string(e.Kind)
+				if e.Detail != "" {
+					name = fmt.Sprintf("%s:%s", e.Kind, e.Detail)
+				}
+				args := map[string]any{"seq": e.Seq, "bytes": e.Bytes, "run": rt.Tag}
+				if e.Peer >= 0 {
+					args["peer"] = e.Peer
+				}
+				events = append(events, chromeEvent{
+					Name:  name,
+					Phase: "i",
+					Scope: "t",
+					TS:    float64(e.TS) / 1e3,
+					PID:   rt.ID,
+					TID:   ring.rank,
+					Args:  args,
+				})
+			}
+		}
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRingWrapKeepsExactTotals: the bounded buffer drops old events, but
+// the byte/message totals must stay exact — that invariant is what lets
+// trace dumps reconcile with the counter-derived Table II metrics.
+func TestRingWrapKeepsExactTotals(t *testing.T) {
+	tr := NewTracer(4)
+	rt := tr.StartRun("wrap", 1)
+	r := rt.Ring(0)
+	const n = 10
+	for i := 0; i < n; i++ {
+		r.Emit(KindSend, "", 1, 100)
+	}
+	if got := r.Emitted(); got != n {
+		t.Errorf("Emitted = %d, want %d", got, n)
+	}
+	if got := r.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4 (ring capacity)", got)
+	}
+	if got := r.Dropped(); got != n-4 {
+		t.Errorf("Dropped = %d, want %d", got, n-4)
+	}
+	if got := r.SentBytes(); got != n*100 {
+		t.Errorf("SentBytes = %d, want %d (totals must survive wrap)", got, n*100)
+	}
+	if got := r.SentMsgs(); got != n {
+		t.Errorf("SentMsgs = %d, want %d", got, n)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(evs))
+	}
+	// Retained events are the newest, in emission order.
+	for i, e := range evs {
+		if want := int64(n - 4 + i); e.Seq != want {
+			t.Errorf("Events[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestRingRecvTotals(t *testing.T) {
+	tr := NewTracer(8)
+	r := tr.StartRun("", 1).Ring(0)
+	r.Emit(KindRecv, "", 0, 64)
+	r.Emit(KindRecv, "irecv", 2, 36)
+	r.Emit(KindCollective, "MPI_Barrier", -1, 0) // collectives don't count as p2p volume
+	if r.RecvBytes() != 100 || r.RecvMsgs() != 2 || r.SentMsgs() != 0 {
+		t.Errorf("recv totals = (%d bytes, %d msgs), want (100, 2)", r.RecvBytes(), r.RecvMsgs())
+	}
+}
+
+func TestWriteJSONLEventsAndSummaries(t *testing.T) {
+	tr := NewTracer(16)
+	rt := tr.StartRun("app/p=2", 2)
+	rt.Ring(0).Emit(KindSend, "", 1, 80)
+	rt.Ring(1).Emit(KindRecv, "", 0, 80)
+	rt.Ring(1).Emit(KindFault, "drop", 0, 0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		Run       int64  `json:"run"`
+		Tag       string `json:"tag"`
+		Rank      int    `json:"rank"`
+		Kind      Kind   `json:"kind"`
+		Detail    string `json:"detail"`
+		Peer      int    `json:"peer"`
+		Bytes     int64  `json:"bytes"`
+		Events    int64  `json:"events"`
+		SentBytes int64  `json:"sent_bytes"`
+		RecvBytes int64  `json:"recv_bytes"`
+	}
+	var events, summaries []rec
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var r rec
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if r.Kind == KindSummary {
+			summaries = append(summaries, r)
+		} else {
+			events = append(events, r)
+		}
+	}
+	if len(events) != 3 {
+		t.Errorf("events = %d, want 3", len(events))
+	}
+	if len(summaries) != 2 { // one per rank
+		t.Fatalf("summaries = %d, want 2", len(summaries))
+	}
+	if s := summaries[0]; s.Rank != 0 || s.SentBytes != 80 || s.Events != 1 {
+		t.Errorf("rank 0 summary = %+v", s)
+	}
+	if s := summaries[1]; s.Rank != 1 || s.RecvBytes != 80 || s.Events != 2 {
+		t.Errorf("rank 1 summary = %+v", s)
+	}
+	if events[0].Tag != "app/p=2" || events[0].Run != 1 {
+		t.Errorf("event tag/run = %q/%d", events[0].Tag, events[0].Run)
+	}
+}
+
+// TestWriteJSONLAbandonedRun: an abandoned run (drain timeout leaked rank
+// goroutines) must contribute a single marker record and no events — its
+// rings may still be written to.
+func TestWriteJSONLAbandonedRun(t *testing.T) {
+	tr := NewTracer(8)
+	rt := tr.StartRun("doomed", 2)
+	rt.Ring(0).Emit(KindSend, "", 1, 8)
+	rt.Abandon()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("abandoned run produced %d lines, want 1: %q", len(lines), buf.String())
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["abandoned"] != true || m["kind"] != "summary" {
+		t.Errorf("marker record = %v", m)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(8)
+	rt := tr.StartRun("app", 2)
+	rt.Ring(0).Emit(KindSend, "", 1, 80)
+	rt.Ring(1).Emit(KindFault, "kill", -1, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int64          `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("traceEvents = %d, want 2", len(doc.TraceEvents))
+	}
+	if e := doc.TraceEvents[0]; e.Name != "send" || e.Phase != "i" || e.PID != 1 || e.TID != 0 {
+		t.Errorf("send event = %+v", e)
+	}
+	if e := doc.TraceEvents[1]; e.Name != "fault:kill" || e.TID != 1 {
+		t.Errorf("fault event = %+v", e)
+	}
+	// A fault with peer -1 must not claim a peer arg.
+	if _, ok := doc.TraceEvents[1].Args["peer"]; ok {
+		t.Error("peerless event has a peer arg")
+	}
+}
+
+func TestTracerRunIDsAndRuns(t *testing.T) {
+	tr := NewTracer(1)
+	a := tr.StartRun("a", 1)
+	b := tr.StartRun("b", 3)
+	if a.ID != 1 || b.ID != 2 {
+		t.Errorf("IDs = %d, %d, want 1, 2", a.ID, b.ID)
+	}
+	if b.Size() != 3 {
+		t.Errorf("Size = %d, want 3", b.Size())
+	}
+	runs := tr.Runs()
+	if len(runs) != 2 || runs[0] != a || runs[1] != b {
+		t.Error("Runs() lost registration order")
+	}
+}

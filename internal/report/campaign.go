@@ -1,0 +1,93 @@
+package report
+
+// Campaign observability summary: one aligned table over the per-app
+// resilience reports plus the counters and histograms of a metrics
+// registry, rendered after a measured run so a degraded or slow campaign
+// explains itself without digging through JSONL dumps.
+
+import (
+	"fmt"
+	"strings"
+
+	"extrareq/internal/obs"
+	"extrareq/internal/workload"
+)
+
+// CampaignSummary renders the observability summary of a measured
+// campaign: a per-application resilience table from the campaign reports
+// (nil entries are skipped) followed by the counters and histograms of the
+// registry snapshot. Output is deterministic: rows follow report order and
+// metric names are sorted.
+func CampaignSummary(reports []*workload.CampaignReport, snap obs.Snapshot) string {
+	var b strings.Builder
+	b.WriteString("Campaign summary\n")
+
+	t := NewTable("", "app", "configs", "recovered", "quarantined", "extra runs", "axis warnings")
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		t.AddRow(r.App,
+			fmt.Sprintf("%d", r.Configs),
+			fmt.Sprintf("%d", r.Recovered),
+			fmt.Sprintf("%d", len(r.Quarantined)),
+			fmt.Sprintf("%d", r.ExtraRuns),
+			fmt.Sprintf("%d", len(r.AxisWarnings)))
+	}
+	if t.Len() > 0 {
+		b.WriteString(t.String())
+	}
+
+	if names := snap.CounterNames(); len(names) > 0 {
+		ct := NewTable("counters", "name", "value")
+		for _, n := range names {
+			ct.AddRow(n, fmt.Sprintf("%d", snap.Counters[n]))
+		}
+		b.WriteString(ct.String())
+	}
+	if names := snap.HistogramNames(); len(names) > 0 {
+		ht := NewTable("histograms", "name", "count", "mean", "p50", "p99")
+		for _, n := range names {
+			h := snap.Histograms[n]
+			mean := 0.0
+			if h.Total > 0 {
+				mean = h.Sum / float64(h.Total)
+			}
+			ht.AddRow(n,
+				fmt.Sprintf("%d", h.Total),
+				Num(mean),
+				Num(histQuantile(h, 0.50)),
+				Num(histQuantile(h, 0.99)))
+		}
+		b.WriteString(ht.String())
+	}
+	return b.String()
+}
+
+// histQuantile estimates quantile q from bucket counts, reporting the
+// upper edge of the bucket holding the q-th observation (the histogram's
+// resolution limit, a conservative bound). Observations at or beyond the
+// last edge report the last edge.
+func histQuantile(h obs.HistogramSnapshot, q float64) float64 {
+	if h.Total == 0 || len(h.Edges) == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.Total))
+	if target < 1 {
+		target = 1
+	}
+	seen := h.Under
+	if seen >= target {
+		return h.Edges[0]
+	}
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= target {
+			if i+1 < len(h.Edges) {
+				return h.Edges[i+1]
+			}
+			return h.Edges[len(h.Edges)-1]
+		}
+	}
+	return h.Edges[len(h.Edges)-1]
+}

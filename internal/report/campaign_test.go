@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"extrareq/internal/obs"
+	"extrareq/internal/workload"
+)
+
+func TestCampaignSummary(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(workload.MetricRuns).Add(12)
+	reg.Counter(workload.MetricQuarantined).Add(1)
+	h := reg.Histogram(workload.MetricRunSeconds, workload.RunSecondsEdges())
+	for i := 0; i < 10; i++ {
+		h.Observe(0.001)
+	}
+	reports := []*workload.CampaignReport{
+		{
+			App: "Kripke", Configs: 4, Recovered: 2, ExtraRuns: 3,
+			Quarantined: []workload.ConfigOutcome{{P: 2, N: 32, Quarantined: true}},
+		},
+		nil, // a failed campaign yields a nil report; must be skipped
+		{App: "LULESH", Configs: 4},
+	}
+	out := CampaignSummary(reports, reg.Snapshot())
+	for _, want := range []string{
+		"Campaign summary",
+		"Kripke", "LULESH",
+		workload.MetricRuns, "12",
+		workload.MetricQuarantined,
+		workload.MetricRunSeconds, "10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic rendering.
+	if again := CampaignSummary(reports, reg.Snapshot()); again != out {
+		t.Error("CampaignSummary is not deterministic")
+	}
+}
+
+func TestCampaignSummaryEmpty(t *testing.T) {
+	out := CampaignSummary(nil, obs.Snapshot{})
+	if !strings.Contains(out, "Campaign summary") {
+		t.Errorf("empty summary lost its header: %q", out)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := obs.HistogramSnapshot{
+		Edges:  []float64{1, 10, 100},
+		Counts: []int64{8, 1, 1},
+		Total:  10,
+	}
+	if got := histQuantile(h, 0.5); got != 10 {
+		t.Errorf("p50 = %g, want 10 (upper edge of the median's bucket)", got)
+	}
+	if got := histQuantile(h, 0.99); got != 100 {
+		t.Errorf("p99 = %g, want 100", got)
+	}
+	if got := histQuantile(obs.HistogramSnapshot{}, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+}

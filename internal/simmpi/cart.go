@@ -111,7 +111,7 @@ func (c *Cart) Exchange(dim, disp int, data []float64) []float64 {
 	var out []float64
 	// Run inside an MPI region so call-path profiles attribute the halo
 	// volume to an MPI call site, as Score-P would.
-	c.proc.Prof.InRegion("MPI_Sendrecv", func() {
+	c.proc.collective("MPI_Sendrecv", len(data), func() {
 		src, dst := c.Shift(dim, disp)
 		var sreq, rreq *Request
 		if dst != ProcNull {

@@ -19,7 +19,7 @@ import "fmt"
 
 // Barrier blocks until every rank has entered it.
 func (p *Proc) Barrier() {
-	p.Prof.InRegion("MPI_Barrier", func() {
+	p.collective("MPI_Barrier", 0, func() {
 		for k := 1; k < p.size; k <<= 1 {
 			dst := (p.rank + k) % p.size
 			src := (p.rank - k + p.size) % p.size
@@ -36,7 +36,7 @@ func (p *Proc) Bcast(root int, data []float64) []float64 {
 	if root < 0 || root >= p.size {
 		panic(fmt.Sprintf("simmpi: Bcast with invalid root %d", root))
 	}
-	p.Prof.InRegion("MPI_Bcast", func() {
+	p.collective("MPI_Bcast", len(data), func() {
 		vrank := (p.rank - root + p.size) % p.size
 		// Receive from the parent (except the root itself).
 		if vrank != 0 {
@@ -79,7 +79,7 @@ func (p *Proc) Reduce(root int, data []float64, op Op) []float64 {
 		panic(fmt.Sprintf("simmpi: Reduce with invalid root %d", root))
 	}
 	var out []float64
-	p.Prof.InRegion("MPI_Reduce", func() {
+	p.collective("MPI_Reduce", len(data), func() {
 		acc := append([]float64(nil), data...)
 		vrank := (p.rank - root + p.size) % p.size
 		mask := 1
@@ -108,7 +108,7 @@ func (p *Proc) Reduce(root int, data []float64, op Op) []float64 {
 // pre/post exchange for non-power-of-two sizes.
 func (p *Proc) Allreduce(data []float64, op Op) []float64 {
 	var out []float64
-	p.Prof.InRegion("MPI_Allreduce", func() {
+	p.collective("MPI_Allreduce", len(data), func() {
 		acc := append([]float64(nil), data...)
 		p2 := 1
 		for p2*2 <= p.size {
@@ -144,7 +144,7 @@ func (p *Proc) Allreduce(data []float64, op Op) []float64 {
 func (p *Proc) Allgather(data []float64) []float64 {
 	m := len(data)
 	out := make([]float64, m*p.size)
-	p.Prof.InRegion("MPI_Allgather", func() {
+	p.collective("MPI_Allgather", len(data), func() {
 		copy(out[p.rank*m:], data)
 		right := (p.rank + 1) % p.size
 		left := (p.rank - 1 + p.size) % p.size
@@ -167,7 +167,7 @@ func (p *Proc) Alltoall(chunks [][]float64) [][]float64 {
 		panic(fmt.Sprintf("simmpi: Alltoall with %d chunks, world size %d", len(chunks), p.size))
 	}
 	out := make([][]float64, p.size)
-	p.Prof.InRegion("MPI_Alltoall", func() {
+	p.collective("MPI_Alltoall", len(chunks[p.rank]), func() {
 		out[p.rank] = append([]float64(nil), chunks[p.rank]...)
 		for step := 1; step < p.size; step++ {
 			dst := (p.rank + step) % p.size

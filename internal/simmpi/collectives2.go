@@ -14,7 +14,7 @@ func (p *Proc) Gather(root int, data []float64) []float64 {
 		panic(fmt.Sprintf("simmpi: Gather with invalid root %d", root))
 	}
 	var out []float64
-	p.Prof.InRegion("MPI_Gather", func() {
+	p.collective("MPI_Gather", len(data), func() {
 		if p.rank != root {
 			p.Send(root, data)
 			return
@@ -41,7 +41,7 @@ func (p *Proc) Scatter(root int, chunks [][]float64) []float64 {
 		panic(fmt.Sprintf("simmpi: Scatter with invalid root %d", root))
 	}
 	var out []float64
-	p.Prof.InRegion("MPI_Scatter", func() {
+	p.collective("MPI_Scatter", scatterElems(chunks), func() {
 		if p.rank == root {
 			if len(chunks) != p.size {
 				panic(fmt.Sprintf("simmpi: Scatter with %d chunks, world size %d", len(chunks), p.size))
@@ -70,7 +70,7 @@ func (p *Proc) ReduceScatter(data []float64, op Op) []float64 {
 		panic(fmt.Sprintf("simmpi: ReduceScatter length %d not divisible by world size %d", len(data), p.size))
 	}
 	var out []float64
-	p.Prof.InRegion("MPI_Reduce_scatter", func() {
+	p.collective("MPI_Reduce_scatter", len(data), func() {
 		full := p.Reduce(0, data, op)
 		m := len(data) / p.size
 		var chunks [][]float64
@@ -90,7 +90,7 @@ func (p *Proc) ReduceScatter(data []float64, op Op) []float64 {
 // the linear chain algorithm.
 func (p *Proc) Scan(data []float64, op Op) []float64 {
 	acc := append([]float64(nil), data...)
-	p.Prof.InRegion("MPI_Scan", func() {
+	p.collective("MPI_Scan", len(data), func() {
 		if p.rank > 0 {
 			prev := p.Recv(p.rank - 1)
 			tmp := append([]float64(nil), prev...)
@@ -102,4 +102,14 @@ func (p *Proc) Scan(data []float64, op Op) []float64 {
 		}
 	})
 	return acc
+}
+
+// scatterElems sums the root's chunk elements for the Scatter trace marker
+// (non-roots pass nil and record zero payload at entry).
+func scatterElems(chunks [][]float64) int {
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	return total
 }

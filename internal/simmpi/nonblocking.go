@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"extrareq/internal/counters"
+	"extrareq/internal/obs"
 )
 
 // Nonblocking point-to-point operations, modeled after MPI_Isend/Irecv.
@@ -46,7 +47,8 @@ func (p *Proc) Isend(dst int, data []float64) *Request {
 	p.Counters.Add(counters.BytesSent, nbytes)
 	p.Counters.Add(counters.MsgsSent, 1)
 	p.Prof.AddMetric("bytes_sent", float64(nbytes))
-	r := &Request{proc: p, dst: dst, pending: p.outgoing(msg)}
+	p.emit(obs.KindSend, "isend", dst, nbytes)
+	r := &Request{proc: p, dst: dst, pending: p.outgoing(dst, msg)}
 	for len(r.pending) > 0 {
 		select {
 		case p.world.chans[p.rank][dst] <- r.pending[0]:
@@ -95,6 +97,7 @@ func (r *Request) Wait() []float64 {
 		p.Counters.Add(counters.BytesRecv, nbytes)
 		p.Counters.Add(counters.MsgsRecv, 1)
 		p.Prof.AddMetric("bytes_recv", float64(nbytes))
+		p.emit(obs.KindRecv, "irecv", r.src, nbytes)
 		r.result = msg
 		r.done = true
 		return msg

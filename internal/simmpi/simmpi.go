@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"extrareq/internal/counters"
+	"extrareq/internal/obs"
 	"extrareq/internal/profile"
 )
 
@@ -87,9 +88,26 @@ type Proc struct {
 
 	// events counts the rank's communication calls (Send/Recv/Isend/Irecv);
 	// faults holds the rank's resolved fault-injection state (nil when the
-	// run has no FaultPlan). Both are owned by the rank goroutine.
+	// run has no FaultPlan); ring is the rank's trace buffer (nil when the
+	// run has no Tracer). All three are owned by the rank goroutine.
 	events int64
 	faults *rankFaults
+	ring   *obs.Ring
+}
+
+// emit records one trace event when tracing is enabled.
+func (p *Proc) emit(kind obs.Kind, detail string, peer int, bytes int64) {
+	if p.ring != nil {
+		p.ring.Emit(kind, detail, peer, bytes)
+	}
+}
+
+// collective marks entry into the named collective in the trace and runs
+// body inside the matching profiler region, so both the event stream and
+// the call-path profile attribute the constituent point-to-point traffic.
+func (p *Proc) collective(name string, elems int, body func()) {
+	p.emit(obs.KindCollective, name, -1, int64(elems)*bytesPerElem)
+	p.Prof.InRegion(name, body)
 }
 
 // commEvent counts one communication call and fires an injected rank kill
@@ -156,6 +174,15 @@ type Options struct {
 	// message drops/delays/duplicates, counter perturbation). nil or an
 	// all-zero plan injects nothing. See FaultPlan.
 	Faults *FaultPlan
+	// Tracer records per-rank communication, fault, and cancellation
+	// events into bounded ring buffers (one ring per rank, owned by the
+	// rank's goroutine — tracing adds no synchronization to the run). nil
+	// disables tracing; the hot-path cost of a disabled tracer is one nil
+	// check per event.
+	Tracer *obs.Tracer
+	// TraceTag labels this run's trace (campaign runners tag runs
+	// "app/p=../n=../attempt=../rep=.."). Ignored without a Tracer.
+	TraceTag string
 }
 
 // resolveTimeouts maps the Options sentinels onto effective durations.
@@ -234,6 +261,13 @@ func RunContext(ctx context.Context, size int, opt *Options, body func(*Proc) er
 	if opt != nil && opt.Faults.Active() {
 		wf = opt.Faults.resolve(size)
 	}
+	// Register the run's trace before any rank starts: ring buffers are
+	// preallocated per rank, so the ranks themselves never synchronize on
+	// the tracer.
+	var rt *obs.RunTrace
+	if opt != nil && opt.Tracer != nil {
+		rt = opt.Tracer.StartRun(opt.TraceTag, size)
+	}
 	results := make([]Result, size)
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
@@ -250,6 +284,9 @@ func RunContext(ctx context.Context, size int, opt *Options, body func(*Proc) er
 			if wf != nil {
 				p.faults = wf.forRank(rank)
 			}
+			if rt != nil {
+				p.ring = rt.Ring(rank)
+			}
 			// Each goroutine owns results[rank] exclusively; Run reads the
 			// slice only after wg.Wait() has established happens-before.
 			results[rank] = Result{Rank: rank, Counters: p.Counters, Profile: p.Prof}
@@ -257,8 +294,10 @@ func RunContext(ctx context.Context, size int, opt *Options, body func(*Proc) er
 				if rec := recover(); rec != nil {
 					switch rec := rec.(type) {
 					case cancelPanic:
+						p.emit(obs.KindCancel, "run cancelled", -1, 0)
 						results[rank].Err = ErrCancelled
 					case killPanic:
+						p.emit(obs.KindFault, "kill", -1, 0)
 						results[rank].Err = &RankError{
 							Rank: rank, Event: rec.event, Injected: true,
 							Reason: "injected rank kill",
@@ -268,6 +307,7 @@ func RunContext(ctx context.Context, size int, opt *Options, body func(*Proc) er
 						// watchdog fires.
 						w.doCancel()
 					default:
+						p.emit(obs.KindFault, "panic", -1, 0)
 						results[rank].Err = &RankError{
 							Rank: rank, Event: p.events,
 							Reason: fmt.Sprint(rec), Stack: string(debug.Stack()),
@@ -320,7 +360,12 @@ func RunContext(ctx context.Context, size int, opt *Options, body func(*Proc) er
 			case <-dt.C:
 				// Last resort: a body ignored cancellation (e.g. an infinite
 				// compute loop that never polls Cancelled). The goroutines
-				// are abandoned and results must not be read.
+				// are abandoned and results must not be read; the run's
+				// trace rings are poisoned too, since the leaked writers may
+				// still be emitting into them.
+				if rt != nil {
+					rt.Abandon()
+				}
 				return nil, fmt.Errorf("%w (rank goroutines ignored cancellation for %v and were abandoned)", cause, drain)
 			}
 		}
@@ -382,7 +427,7 @@ func (p *Proc) Send(dst int, data []float64) {
 	p.checkCancel()
 	p.commEvent()
 	msg := append([]float64(nil), data...)
-	for _, m := range p.outgoing(msg) {
+	for _, m := range p.outgoing(dst, msg) {
 		select {
 		case p.world.chans[p.rank][dst] <- m:
 		case <-p.world.cancel:
@@ -393,24 +438,30 @@ func (p *Proc) Send(dst int, data []float64) {
 	p.Counters.Add(counters.BytesSent, nbytes)
 	p.Counters.Add(counters.MsgsSent, 1)
 	p.Prof.AddMetric("bytes_sent", float64(nbytes))
+	p.emit(obs.KindSend, "", dst, nbytes)
 }
 
 // outgoing applies the rank's fault state to one outbound payload and
 // returns the wire messages to enqueue: the payload itself, nothing (drop),
 // or the payload plus an aliasing-safe duplicate. An injected delay sleeps
-// here, before any delivery.
-func (p *Proc) outgoing(msg []float64) [][]float64 {
+// here, before any delivery. Injected faults are recorded in the rank's
+// trace so a hung or noisy run can be diagnosed from the event stream.
+func (p *Proc) outgoing(dst int, msg []float64) [][]float64 {
 	if p.faults == nil {
 		return [][]float64{msg}
 	}
 	fate, delay := p.faults.fate()
+	nbytes := int64(len(msg) * bytesPerElem)
 	if delay > 0 {
+		p.emit(obs.KindFault, "delay", dst, nbytes)
 		time.Sleep(delay)
 	}
 	switch fate {
 	case fateDrop:
+		p.emit(obs.KindFault, "drop", dst, nbytes)
 		return nil
 	case fateDup:
+		p.emit(obs.KindFault, "dup", dst, nbytes)
 		return [][]float64{msg, append([]float64(nil), msg...)}
 	default:
 		return [][]float64{msg}
@@ -441,6 +492,7 @@ func (p *Proc) Recv(src int) []float64 {
 	p.Counters.Add(counters.BytesRecv, nbytes)
 	p.Counters.Add(counters.MsgsRecv, 1)
 	p.Prof.AddMetric("bytes_recv", float64(nbytes))
+	p.emit(obs.KindRecv, "", src, nbytes)
 	return msg
 }
 

@@ -8,6 +8,8 @@
 // combines Threadspotter samples with PAPI load/store totals (§II-B).
 package trace
 
+import "sort"
+
 // Recorder consumes memory accesses. Implementations are process-local and
 // not safe for concurrent use.
 type Recorder interface {
@@ -109,13 +111,42 @@ func (s *BurstSampler) SampledByGroup() map[string]int64 {
 // groups according to the ratio of samples collected per group, exactly the
 // estimation step described in §II-B of the paper. It returns nil when no
 // samples were collected.
+//
+// The shares are apportioned by the largest-remainder method: each group
+// gets the floor of its exact proportional share, and the units lost to
+// flooring go to the groups with the largest fractional remainders (ties
+// broken by group name for determinism). The estimates therefore sum to
+// papiTotal exactly — per-group truncation never leaks accesses, no matter
+// how many groups there are.
 func (s *BurstSampler) EstimateGroupAccesses(papiTotal int64) map[string]int64 {
 	if s.sampled == 0 {
 		return nil
 	}
+	type share struct {
+		group string
+		rem   int64 // remainder of the exact share, in units of 1/sampled
+	}
 	out := make(map[string]int64, len(s.groups))
+	shares := make([]share, 0, len(s.groups))
+	var assigned int64
 	for g, c := range s.groups {
-		out[g] = int64(float64(papiTotal) * float64(c) / float64(s.sampled))
+		// Exact share is papiTotal*c/sampled; integer arithmetic keeps both
+		// quotient and remainder exact (counts are far below 2^31, so the
+		// product does not overflow int64 for any realistic trace).
+		q := papiTotal * c / s.sampled
+		out[g] = q
+		assigned += q
+		shares = append(shares, share{group: g, rem: papiTotal * c % s.sampled})
+	}
+	leftover := papiTotal - assigned
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].rem != shares[j].rem {
+			return shares[i].rem > shares[j].rem
+		}
+		return shares[i].group < shares[j].group
+	})
+	for i := int64(0); i < leftover; i++ {
+		out[shares[i%int64(len(shares))].group]++
 	}
 	return out
 }

@@ -106,6 +106,57 @@ func TestEstimateGroupAccesses(t *testing.T) {
 	}
 }
 
+// TestEstimateGroupAccessesExactSum: largest-remainder apportionment must
+// conserve the PAPI total exactly — per-group truncation used to leak up
+// to one access per group (the Table II loads/stores drift bug).
+func TestEstimateGroupAccessesExactSum(t *testing.T) {
+	var inner Buffer
+	s := NewBurstSampler(&inner, 3, 5)
+	// Many groups with awkward (prime-ish) shares so every exact share has
+	// a fractional remainder.
+	groups := []string{"g0", "g1", "g2", "g3", "g4", "g5", "g6"}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 9973; i++ {
+		s.Record(uint64(i), groups[rng.Intn(len(groups))])
+	}
+	for _, papiTotal := range []int64{1, 7, 999, 1_000_003, 123_456_789} {
+		est := s.EstimateGroupAccesses(papiTotal)
+		var sum int64
+		for _, v := range est {
+			sum += v
+		}
+		if sum != papiTotal {
+			t.Errorf("papiTotal=%d: estimates sum to %d (drift %d): %v",
+				papiTotal, sum, papiTotal-sum, est)
+		}
+	}
+}
+
+// TestEstimateGroupAccessesDeterministic: the remainder tie-break is by
+// group name, so repeated estimation yields identical maps.
+func TestEstimateGroupAccessesDeterministic(t *testing.T) {
+	var inner Buffer
+	s := NewBurstSampler(&inner, 1, 0)
+	// Equal sampled counts force remainder ties across all groups.
+	for i := 0; i < 4; i++ {
+		s.Record(uint64(i), string(rune('a'+i)))
+	}
+	first := s.EstimateGroupAccesses(10)
+	for i := 0; i < 10; i++ {
+		again := s.EstimateGroupAccesses(10)
+		for g, v := range first {
+			if again[g] != v {
+				t.Fatalf("estimate not deterministic: %v vs %v", first, again)
+			}
+		}
+	}
+	// 10 over 4 equal groups: floor share 2 each, the 2 leftovers go to the
+	// lexicographically smallest groups.
+	if first["a"] != 3 || first["b"] != 3 || first["c"] != 2 || first["d"] != 2 {
+		t.Errorf("tie-break by name violated: %v", first)
+	}
+}
+
 func TestEstimateWithNoSamples(t *testing.T) {
 	s := NewBurstSampler(&Buffer{}, 1, 0)
 	if got := s.EstimateGroupAccesses(100); got != nil {

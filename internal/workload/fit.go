@@ -6,6 +6,7 @@ import (
 	"extrareq/internal/codesign"
 	"extrareq/internal/metrics"
 	"extrareq/internal/modeling"
+	"extrareq/internal/obs"
 	"extrareq/internal/pmnf"
 	"extrareq/internal/stats"
 )
@@ -120,6 +121,13 @@ func FitAll(campaigns []*Campaign, opts *modeling.Options) ([]*FitResult, []stat
 // other's fits. Result order follows the campaign order regardless of the
 // worker count.
 func FitAllParallel(campaigns []*Campaign, opts *modeling.Options, workers int, cache *modeling.FitCache) ([]*FitResult, []stats.ErrorClass, error) {
+	return FitAllObserved(campaigns, opts, workers, cache, nil)
+}
+
+// FitAllObserved is FitAllParallel reporting fit_* metrics (task counts,
+// cache hits, errors, per-task latency) into the registry; nil disables
+// instrumentation. See modeling.FitAllObserved for the metric names.
+func FitAllObserved(campaigns []*Campaign, opts *modeling.Options, workers int, cache *modeling.FitCache, reg *obs.Registry) ([]*FitResult, []stats.ErrorClass, error) {
 	all := metrics.All()
 	tasks := make([]modeling.FitTask, 0, len(campaigns)*len(all))
 	for _, c := range campaigns {
@@ -131,7 +139,7 @@ func FitAllParallel(campaigns []*Campaign, opts *modeling.Options, workers int, 
 			tasks = append(tasks, task)
 		}
 	}
-	outs := modeling.FitAll(tasks, workers, cache)
+	outs := modeling.FitAllObserved(tasks, workers, cache, reg)
 	var fits []*FitResult
 	var allErrs []float64
 	for i, c := range campaigns {

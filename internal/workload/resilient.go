@@ -1,9 +1,12 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -12,6 +15,7 @@ import (
 	"extrareq/internal/apps"
 	"extrareq/internal/locality"
 	"extrareq/internal/modeling"
+	"extrareq/internal/obs"
 	"extrareq/internal/simmpi"
 )
 
@@ -56,6 +60,13 @@ type ResilientRunner struct {
 	// Sleep replaces time.Sleep for backoff waits (test hook). nil uses
 	// time.Sleep.
 	Sleep func(time.Duration)
+	// Metrics receives the campaign's observability counters (see the
+	// campaign_* names in DESIGN.md §6c) and the per-run latency
+	// histogram. nil disables metric collection.
+	Metrics *obs.Registry
+	// Tracer records the per-rank runtime events of every attempt; runs
+	// are tagged "app/p=../n=../attempt=../rep=..". nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Resilience defaults.
@@ -145,6 +156,50 @@ func (r *CampaignReport) Render() string {
 	return b.String()
 }
 
+// The campaign_* metric names a ResilientRunner reports under (documented
+// in DESIGN.md §6c; rendered by report.CampaignSummary).
+const (
+	// MetricRuns counts simulated runs executed (attempts × repeats).
+	MetricRuns = "campaign_runs_total"
+	// MetricAttempts counts per-configuration measurement attempts.
+	MetricAttempts = "campaign_attempts_total"
+	// MetricRetries counts failed measurement attempts (each one was
+	// either retried or, on budget exhaustion, ended in quarantine).
+	MetricRetries = "campaign_retries_total"
+	// MetricRecovered counts configurations that succeeded after failing.
+	MetricRecovered = "campaign_recovered_total"
+	// MetricQuarantined counts configurations lost to the retry budget.
+	MetricQuarantined = "campaign_quarantined_total"
+	// MetricRunSeconds is the per-run wall-time histogram.
+	MetricRunSeconds = "campaign_run_seconds"
+)
+
+// RunSecondsEdges is the bucket layout of MetricRunSeconds: exponential
+// from 100µs to ~26s, bracketing everything from a small healthy run to a
+// watchdog-cancelled hang.
+func RunSecondsEdges() []float64 { return obs.ExpEdges(1e-4, 4, 10) }
+
+// campaignMetrics caches the resolved instruments of one campaign so the
+// measurement hot path touches only atomics, never the registry mutex.
+type campaignMetrics struct {
+	runs, attempts, retries, recovered, quarantined *obs.Counter
+	runSeconds                                      *obs.Histogram
+}
+
+func newCampaignMetrics(r *obs.Registry) *campaignMetrics {
+	if r == nil {
+		return nil
+	}
+	return &campaignMetrics{
+		runs:        r.Counter(MetricRuns),
+		attempts:    r.Counter(MetricAttempts),
+		retries:     r.Counter(MetricRetries),
+		recovered:   r.Counter(MetricRecovered),
+		quarantined: r.Counter(MetricQuarantined),
+		runSeconds:  r.Histogram(MetricRunSeconds, RunSecondsEdges()),
+	}
+}
+
 // configSalt mixes a configuration's identity into a fault-seed salt, so
 // every (configuration, attempt, repeat) draws independent faults.
 func configSalt(p, n, attempt, repeat int) uint64 {
@@ -175,7 +230,7 @@ func (r *ResilientRunner) runTimeout() time.Duration {
 // measureOnce executes every repeat of one configuration with the
 // attempt's derived fault seeds and aggregates the sample exactly like
 // RunParallel.
-func (r *ResilientRunner) measureOnce(grid Grid, p, n, attempt int, stackDistance float64) (Sample, error) {
+func (r *ResilientRunner) measureOnce(grid Grid, p, n, attempt int, stackDistance float64, cm *campaignMetrics) (Sample, error) {
 	repeats := grid.Repeats
 	if repeats < 1 {
 		repeats = 1
@@ -186,13 +241,23 @@ func (r *ResilientRunner) measureOnce(grid Grid, p, n, attempt int, stackDistanc
 		if r.Faults.Active() {
 			plan = r.Faults.Derive(configSalt(p, n, attempt, rep))
 		}
-		results, err := r.App.Run(apps.Config{
+		cfg := apps.Config{
 			Procs:   p,
 			N:       n,
 			Seed:    grid.Seed + int64(rep)*1_000_003,
 			Faults:  plan,
 			Timeout: r.runTimeout(),
-		})
+		}
+		if r.Tracer != nil {
+			cfg.Tracer = r.Tracer
+			cfg.TraceTag = fmt.Sprintf("%s/p=%d/n=%d/attempt=%d/rep=%d", r.App.Name(), p, n, attempt+1, rep)
+		}
+		start := time.Now()
+		results, err := r.App.Run(cfg)
+		if cm != nil {
+			cm.runs.Inc()
+			cm.runSeconds.Observe(time.Since(start).Seconds())
+		}
 		if err != nil {
 			return Sample{}, fmt.Errorf("%s at p=%d n=%d attempt %d: %w", r.App.Name(), p, n, attempt+1, err)
 		}
@@ -209,7 +274,7 @@ func (r *ResilientRunner) measureOnce(grid Grid, p, n, attempt int, stackDistanc
 
 // measureConfig drives the retry loop of one configuration: exponential
 // backoff between attempts, quarantine once the budget is exhausted.
-func (r *ResilientRunner) measureConfig(grid Grid, p, n int, stackDistance float64) (Sample, ConfigOutcome) {
+func (r *ResilientRunner) measureConfig(grid Grid, p, n int, stackDistance float64, cm *campaignMetrics) (Sample, ConfigOutcome) {
 	attempts := 1
 	if r.Retries > 0 {
 		attempts += r.Retries
@@ -221,17 +286,29 @@ func (r *ResilientRunner) measureConfig(grid Grid, p, n int, stackDistance float
 	out := ConfigOutcome{P: p, N: n}
 	for a := 0; a < attempts; a++ {
 		out.Attempts = a + 1
-		s, err := r.measureOnce(grid, p, n, a, stackDistance)
+		if cm != nil {
+			cm.attempts.Inc()
+		}
+		s, err := r.measureOnce(grid, p, n, a, stackDistance, cm)
 		if err == nil {
+			if cm != nil && a > 0 {
+				cm.recovered.Inc()
+			}
 			return s, out
 		}
 		out.Errors = append(out.Errors, err.Error())
+		if cm != nil {
+			cm.retries.Inc()
+		}
 		if a < attempts-1 {
 			r.sleep(backoff)
 			if backoff < maxBackoff {
 				backoff *= 2
 			}
 		}
+	}
+	if cm != nil {
+		cm.quarantined.Inc()
 	}
 	out.Quarantined = true
 	return Sample{}, out
@@ -278,21 +355,28 @@ func (r *ResilientRunner) Run(grid Grid) (*Campaign, *CampaignReport, error) {
 	}
 	samples := make([]Sample, len(configs))
 	outcomes := make([]ConfigOutcome, len(configs))
+	cm := newCampaignMetrics(r.Metrics)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(configs) {
-					return
+			// Goroutine labels make the campaign pool identifiable in pprof
+			// profiles (goroutine, CPU) when the harness runs with -pprof.
+			labels := pprof.Labels("pool", "workload.ResilientRunner",
+				"app", r.App.Name(), "worker", strconv.Itoa(w))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(configs) {
+						return
+					}
+					p, n := configs[i].p, configs[i].n
+					samples[i], outcomes[i] = r.measureConfig(grid, p, n, stackByN[n], cm)
 				}
-				p, n := configs[i].p, configs[i].n
-				samples[i], outcomes[i] = r.measureConfig(grid, p, n, stackByN[n])
-			}
-		}()
+			})
+		}(w)
 	}
 	wg.Wait()
 

@@ -77,3 +77,41 @@ func BenchmarkFitPipelineCached(b *testing.B) {
 	}
 	b.ReportMetric(float64(tasks*b.N)/b.Elapsed().Seconds(), "fits/sec")
 }
+
+// --- Tracing overhead --------------------------------------------------------
+
+// benchmarkMeasureApp times one proxy-app measurement run with an optional
+// tracer. Comparing the Off/On pair checks the observability contract:
+// with tracing disabled the runtime pays one nil check per event, so
+// BenchmarkMeasureTracingOff must match the pre-observability baseline
+// (within noise, ±5%); the On variant quantifies the cost of ring-buffer
+// event capture.
+func benchmarkMeasureApp(b *testing.B, traced bool) {
+	app, ok := apps.ByName("MILC")
+	if !ok {
+		b.Fatal("MILC not registered")
+	}
+	var tr *Tracer
+	if traced {
+		tr = NewTracer(0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := apps.Config{Procs: 8, N: 512, Seed: 42, Tracer: tr, TraceTag: "bench"}
+		if _, err := app.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if tr != nil {
+		var events int64
+		for _, rt := range tr.Runs() {
+			for r := 0; r < rt.Size(); r++ {
+				events += rt.Ring(r).Emitted()
+			}
+		}
+		b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	}
+}
+
+func BenchmarkMeasureTracingOff(b *testing.B) { benchmarkMeasureApp(b, false) }
+func BenchmarkMeasureTracingOn(b *testing.B)  { benchmarkMeasureApp(b, true) }

@@ -17,6 +17,15 @@ fi
 echo "== go vet ./... =="
 go vet ./...
 
+# staticcheck is optional locally (the gate must not force an install) but
+# mandatory in CI, where the workflow installs the pinned version first.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck ./... =="
+    staticcheck ./...
+else
+    echo "== staticcheck: not installed, skipping (CI runs it) =="
+fi
+
 echo "== go build ./... =="
 go build ./...
 

@@ -8,6 +8,7 @@
 //	repro -table 2 -source measured  # Table II from the full pipeline
 //	repro -figure 3                # the model-quality histogram
 //	repro -table 2 -source measured -faults seed=7,kill=0.3 -retries 4
+//	repro -all -source measured -cache-dir .cache  # reuse prior campaigns
 //
 // With -source measured, the five proxy applications are run over their
 // measurement grids, models are fitted with the Extra-P-style generator,
@@ -21,83 +22,59 @@
 // times, repeatedly failing ones are quarantined, and a campaign report per
 // application (including -min-points axis-coverage warnings) is printed to
 // stderr so degraded fits are never silent.
+//
+// With -cache-dir, measured campaigns are persisted under a content hash
+// and byte-identical reruns are served from the cache; -cache-stats prints
+// the hit/miss accounting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"extrareq"
+	"extrareq/internal/cli"
 )
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "table number to regenerate (1-7)")
-		figure    = flag.Int("figure", 0, "figure number to regenerate (1 or 3)")
-		all       = flag.Bool("all", false, "regenerate every table and figure")
-		source    = flag.String("source", "paper", "model source: 'paper' (published Table II models) or 'measured' (full pipeline)")
-		faults    = flag.String("faults", "", "fault-injection spec for -source measured, e.g. 'seed=7,kill=0.3,drop=0.001' (see extrareq.ParseFaultSpec)")
-		retries   = flag.Int("retries", 2, "per-configuration retry budget for failed measurement runs")
-		minPoints = flag.Int("min-points", 0, "per-axis coverage threshold for degradation warnings (0 = the paper's five-point rule)")
-
-		tracePath   = flag.String("trace", "", "with -source measured: dump per-rank runtime events to this file (.json = Chrome trace_event, else JSONL)")
-		metricsPath = flag.String("metrics", "", "with -source measured: dump campaign/fit metrics to this file as JSON and print a campaign summary to stderr")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060 or :0)")
+		table  = flag.Int("table", 0, "table number to regenerate (1-7)")
+		figure = flag.Int("figure", 0, "figure number to regenerate (1 or 3)")
+		all    = flag.Bool("all", false, "regenerate every table and figure")
+		source = flag.String("source", "paper", "model source: 'paper' (published Table II models) or 'measured' (full pipeline)")
 	)
+	var shared cli.Flags
+	shared.Register(flag.CommandLine)
 	flag.Parse()
 	if !*all && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	o := obsFlags{trace: *tracePath, metrics: *metricsPath, pprof: *pprofAddr}
-	if err := run(os.Stdout, os.Stderr, *table, *figure, *all, *source, *faults, *retries, *minPoints, o); err != nil {
+	if err := run(os.Stdout, os.Stderr, *table, *figure, *all, *source, &shared); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-// obsFlags carries the observability options: output paths for the event
-// trace and the metrics snapshot, and the pprof listen address.
-type obsFlags struct {
-	trace, metrics, pprof string
-}
-
-func run(w, errw io.Writer, table, figure int, all bool, source, faults string, retries, minPoints int, o obsFlags) error {
-	if o.pprof != "" {
-		addr, err := extrareq.StartPprofServer(o.pprof)
-		if err != nil {
-			return err
+func run(w, errw io.Writer, table, figure int, all bool, source string, shared *cli.Flags) error {
+	if source != "measured" {
+		if shared.Faults != "" {
+			return fmt.Errorf("-faults needs -source measured (paper models are not measured)")
 		}
-		fmt.Fprintf(errw, "repro: pprof server on http://%s/debug/pprof/\n", addr)
+		if shared.Observing() || shared.CacheDir != "" {
+			return fmt.Errorf("-trace/-metrics/-cache-* need -source measured (paper models run nothing to observe)")
+		}
 	}
-	if (o.trace != "" || o.metrics != "") && source != "measured" {
-		return fmt.Errorf("-trace/-metrics need -source measured (paper models run nothing to observe)")
-	}
-	var reg *extrareq.MetricsRegistry
-	var tr *extrareq.Tracer
-	if o.metrics != "" {
-		reg = extrareq.NewMetricsRegistry()
-	}
-	if o.trace != "" {
-		tr = extrareq.NewTracer(0)
-	}
-	apps, classes, err := resolveApps(errw, source, faults, retries, minPoints, reg, tr)
+	opts, err := shared.Setup(errw, "repro")
 	if err != nil {
 		return err
 	}
-	if tr != nil {
-		if err := extrareq.WriteTraceFile(o.trace, tr); err != nil {
-			return err
-		}
-		fmt.Fprintf(errw, "repro: wrote event trace to %s\n", o.trace)
-	}
-	if reg != nil {
-		if err := extrareq.WriteMetricsFile(o.metrics, reg); err != nil {
-			return err
-		}
-		fmt.Fprintf(errw, "repro: wrote metrics to %s\n", o.metrics)
+	apps, classes, err := resolveApps(errw, source, shared, opts)
+	if err != nil {
+		return err
 	}
 	base := extrareq.DefaultBaseline()
 
@@ -121,7 +98,7 @@ func run(w, errw io.Writer, table, figure int, all bool, source, faults string, 
 	if want(0, 3) {
 		if classes == nil {
 			// Figure 3 requires measured fits even in paper mode.
-			_, classes, err = extrareq.MeasureAndModelAll()
+			_, classes, err = extrareq.RunAll(context.Background())
 			if err != nil {
 				return err
 			}
@@ -163,52 +140,35 @@ func run(w, errw io.Writer, table, figure int, all bool, source, faults string, 
 }
 
 // resolveApps returns the requirements models per the chosen source, plus
-// (in measured mode) the Figure 3 error classes of the fits. With a fault
-// spec, the measurements run through the resilient pipeline and each app's
-// campaign report is printed to errw. A non-nil registry or tracer also
-// forces the resilient pipeline (that is where the instrumentation lives);
-// with a registry, a campaign summary lands on errw.
-func resolveApps(errw io.Writer, source, faults string, retries, minPoints int, reg *extrareq.MetricsRegistry, tr *extrareq.Tracer) ([]extrareq.App, []extrareq.ErrorClass, error) {
+// (in measured mode) the Figure 3 error classes of the fits. Measured mode
+// runs all five apps through extrareq.RunAll with the shared flag options;
+// campaign reports land on errw (all of them under faults, only degraded
+// ones otherwise), followed by the observability summary and cache stats.
+func resolveApps(errw io.Writer, source string, shared *cli.Flags, opts []extrareq.Option) ([]extrareq.App, []extrareq.ErrorClass, error) {
 	switch source {
 	case "paper":
-		if faults != "" {
-			return nil, nil, fmt.Errorf("-faults needs -source measured (paper models are not measured)")
-		}
 		return extrareq.PaperApps(), nil, nil
 	case "measured":
-		var fits []*extrareq.Requirements
-		var classes []extrareq.ErrorClass
-		var err error
-		if faults == "" && retries <= 0 && reg == nil && tr == nil {
-			fmt.Fprintln(errw, "repro: measuring all five proxy applications (this takes a few seconds)...")
-			fits, classes, err = extrareq.MeasureAndModelAll()
+		if plan := shared.Plan(); plan != nil {
+			fmt.Fprintf(errw, "repro: measuring all five proxy applications under injected faults (%s)...\n", plan)
 		} else {
-			var plan *extrareq.FaultPlan
-			if faults != "" {
-				if plan, err = extrareq.ParseFaultSpec(faults); err != nil {
-					return nil, nil, err
-				}
-				fmt.Fprintf(errw, "repro: measuring all five proxy applications under injected faults (%s)...\n", plan)
-			} else {
-				fmt.Fprintln(errw, "repro: measuring all five proxy applications (this takes a few seconds)...")
-			}
-			var reports []*extrareq.CampaignReport
-			fits, classes, reports, err = extrareq.MeasureAndModelAllResilientObserved(plan, retries, minPoints, reg, tr)
-			for _, r := range reports {
-				if r != nil && (plan != nil || r.Degraded()) {
-					fmt.Fprint(errw, r.Render())
-				}
-			}
-			if reg != nil {
-				fmt.Fprint(errw, extrareq.RenderCampaignSummary(reports, reg.Snapshot()))
-			}
+			fmt.Fprintln(errw, "repro: measuring all five proxy applications (this takes a few seconds)...")
 		}
+		results, classes, err := extrareq.RunAll(context.Background(), opts...)
+		reports := make([]*extrareq.CampaignReport, len(results))
+		for i, r := range results {
+			reports[i] = r.Report
+		}
+		shared.ReportCampaigns(errw, reports)
 		if err != nil {
 			return nil, nil, err
 		}
+		if err := shared.Finish(errw, "repro", reports); err != nil {
+			return nil, nil, err
+		}
 		var apps []extrareq.App
-		for _, f := range fits {
-			apps = append(apps, f.App)
+		for _, r := range results {
+			apps = append(apps, r.Requirements.App)
 		}
 		return apps, classes, nil
 	default:

@@ -4,7 +4,14 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"extrareq/internal/cli"
 )
+
+// flags builds the shared flag set the way flag parsing would.
+func flags(faults string, retries, minPoints int) *cli.Flags {
+	return &cli.Flags{Faults: faults, Retries: retries, MinPoints: minPoints}
+}
 
 // TestRunAllPaperMode is the golden-ish smoke test for the repro tool: all
 // tables and Figure 1 in paper mode (Figure 3 needs measurements and is
@@ -12,11 +19,11 @@ import (
 func TestRunAllPaperMode(t *testing.T) {
 	var buf strings.Builder
 	for _, table := range []int{1, 2, 3, 4, 5, 6, 7} {
-		if err := run(&buf, io.Discard, table, 0, false, "paper", "", 0, 0, obsFlags{}); err != nil {
+		if err := run(&buf, io.Discard, table, 0, false, "paper", flags("", 0, 0)); err != nil {
 			t.Fatalf("table %d: %v", table, err)
 		}
 	}
-	if err := run(&buf, io.Discard, 0, 1, false, "paper", "", 0, 0, obsFlags{}); err != nil {
+	if err := run(&buf, io.Discard, 0, 1, false, "paper", flags("", 0, 0)); err != nil {
 		t.Fatalf("figure 1: %v", err)
 	}
 	out := buf.String()
@@ -41,21 +48,30 @@ func TestRunAllPaperMode(t *testing.T) {
 
 func TestRunRejectsUnknownSource(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, io.Discard, 1, 0, false, "bogus", "", 0, 0, obsFlags{}); err == nil {
+	if err := run(&buf, io.Discard, 1, 0, false, "bogus", flags("", 0, 0)); err == nil {
 		t.Fatal("unknown source accepted")
 	}
 }
 
 func TestRunRejectsFaultsInPaperMode(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, io.Discard, 1, 0, false, "paper", "seed=1,kill=0.5", 2, 0, obsFlags{}); err == nil {
+	if err := run(&buf, io.Discard, 1, 0, false, "paper", flags("seed=1,kill=0.5", 2, 0)); err == nil {
 		t.Fatal("-faults accepted with -source paper")
+	}
+}
+
+func TestRunRejectsCacheInPaperMode(t *testing.T) {
+	var buf strings.Builder
+	shared := flags("", 0, 0)
+	shared.CacheDir = t.TempDir()
+	if err := run(&buf, io.Discard, 1, 0, false, "paper", shared); err == nil {
+		t.Fatal("-cache-dir accepted with -source paper")
 	}
 }
 
 func TestRunRejectsBadFaultSpec(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, io.Discard, 2, 0, false, "measured", "kill=banana", 2, 0, obsFlags{}); err == nil {
+	if err := run(&buf, io.Discard, 2, 0, false, "measured", flags("kill=banana", 2, 0)); err == nil {
 		t.Fatal("malformed fault spec accepted")
 	}
 }
@@ -69,7 +85,7 @@ func TestRunMeasuredWithFaults(t *testing.T) {
 		t.Skip("full measured pipeline in -short mode")
 	}
 	var buf, diag strings.Builder
-	if err := run(&buf, &diag, 2, 0, false, "measured", "seed=7,kill=0.2", 6, 0, obsFlags{}); err != nil {
+	if err := run(&buf, &diag, 2, 0, false, "measured", flags("seed=7,kill=0.2", 6, 0)); err != nil {
 		t.Fatalf("faulty measured run failed: %v\ndiagnostics:\n%s", err, diag.String())
 	}
 	if !strings.Contains(buf.String(), "Table II: Per-process requirements models") {
@@ -84,7 +100,7 @@ func TestRunMeasuredWithFaults(t *testing.T) {
 }
 
 func TestAppByName(t *testing.T) {
-	apps, _, err := resolveApps(io.Discard, "paper", "", 0, 0, nil, nil)
+	apps, _, err := resolveApps(io.Discard, "paper", flags("", 0, 0), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

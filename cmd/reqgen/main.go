@@ -9,29 +9,32 @@
 //	reqgen -all -dir measurements/
 //	reqgen -app MILC -procs 4,8,16,32,64 -ns 512,1024,2048,4096,8192
 //	reqgen -app Kripke -faults seed=7,kill=0.3,drop=0.001 -retries 4
+//	reqgen -all -cache-dir .cache -cache-stats   # reuse prior campaigns
 //
 // With -faults, the campaign runs on a deliberately unreliable simulated
 // system: failed configurations are retried up to -retries times with
 // backoff, repeatedly failing ones are quarantined, and a campaign report
 // (including -min-points axis-coverage warnings) goes to stderr. The
 // written measurement file then contains only the surviving samples.
+//
+// With -cache-dir, finished campaigns are persisted under a content hash
+// of (app, grid, fault spec, retry budget); rerunning the same
+// measurement serves the byte-identical campaign from the cache instead
+// of simulating it again.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
-	"sync"
 
 	"extrareq"
-	"extrareq/internal/apps"
+	"extrareq/internal/cli"
 	"extrareq/internal/extrap"
-	"extrareq/internal/obs"
-	"extrareq/internal/report"
-	"extrareq/internal/workload"
 )
 
 func main() {
@@ -44,41 +47,17 @@ func main() {
 		ns      = flag.String("ns", "", "comma-separated problem sizes (default per-app grid)")
 		seed    = flag.Int64("seed", 42, "measurement jitter seed")
 		format  = flag.String("format", "json", "output format: 'json' or 'extrap' (Extra-P text input)")
-
-		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'seed=7,kill=0.3,drop=0.001' (see extrareq.ParseFaultSpec)")
-		retries   = flag.Int("retries", 2, "per-configuration retry budget for failed measurement runs")
-		minPoints = flag.Int("min-points", 0, "per-axis coverage threshold for degradation warnings (0 = the paper's five-point rule)")
-
-		tracePath   = flag.String("trace", "", "dump per-rank runtime events to this file (.json = Chrome trace_event, else JSONL)")
-		metricsPath = flag.String("metrics", "", "dump campaign metrics to this file as JSON and print a campaign summary to stderr")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060 or :0)")
 	)
+	var shared cli.Flags
+	shared.Register(flag.CommandLine)
 	flag.Parse()
-	if *pprofAddr != "" {
-		addr, err := obs.StartPprofServer(*pprofAddr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "reqgen: pprof server on http://%s/debug/pprof/\n", addr)
-	}
-	var reg *obs.Registry
-	var tracer *obs.Tracer
-	if *metricsPath != "" {
-		reg = obs.NewRegistry()
-	}
-	if *tracePath != "" {
-		tracer = obs.NewTracer(0)
-	}
-	var plan *extrareq.FaultPlan
-	if *faults != "" {
-		var err error
-		if plan, err = extrareq.ParseFaultSpec(*faults); err != nil {
-			fatal(err)
-		}
-	}
 	if !*all && *appName == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	opts, err := shared.Setup(os.Stderr, "reqgen")
+	if err != nil {
+		fatal(err)
 	}
 	names := []string{*appName}
 	if *all {
@@ -87,10 +66,9 @@ func main() {
 
 	// Resolve grids up front so that flag errors surface before any
 	// measurement starts.
-	grids := make([]workload.Grid, len(names))
-	measured := make([]apps.App, len(names))
+	grids := make([]extrareq.Grid, len(names))
 	for i, name := range names {
-		grid := workload.DefaultGrid(name)
+		grid := extrareq.DefaultGrid(name)
 		grid.Seed = *seed
 		var err error
 		if grid.Procs, err = overrideAxis(grid.Procs, *procs); err != nil {
@@ -99,11 +77,7 @@ func main() {
 		if grid.Ns, err = overrideAxis(grid.Ns, *ns); err != nil {
 			fatal(err)
 		}
-		a, ok := apps.ByName(name)
-		if !ok {
-			fatal(fmt.Errorf("unknown application %q (have %v)", name, apps.Names()))
-		}
-		grids[i], measured[i] = grid, a
+		grids[i] = grid
 	}
 
 	// Warn about sparse grids before measuring: the five-configurations
@@ -114,59 +88,32 @@ func main() {
 		}
 	}
 
-	// Measure the apps concurrently (each campaign also fans its (p, n)
-	// configurations across all cores); files are written afterwards in
-	// the deterministic name order. With a fault plan or a retry budget the
-	// resilient runner retries and quarantines failing configurations and
-	// reports per-campaign degradation afterwards.
-	campaigns := make([]*workload.Campaign, len(names))
-	reports := make([]*workload.CampaignReport, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i := range names {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			fmt.Fprintf(os.Stderr, "reqgen: measuring %s over %d configurations...\n",
-				names[i], len(grids[i].Procs)*len(grids[i].Ns))
-			if plan == nil && *retries <= 0 && reg == nil && tracer == nil {
-				campaigns[i], errs[i] = workload.Run(measured[i], grids[i])
-				return
+	// Measure through the Run facade (each campaign fans its (p, n)
+	// configurations across all cores; -cache-dir serves byte-identical
+	// repeats without simulating). Unlike RunAll, every app gets the same
+	// fault plan, matching reqgen's historical behavior: the spec on the
+	// command line is the spec that runs.
+	campaigns := make([]*extrareq.Campaign, len(names))
+	reports := make([]*extrareq.CampaignReport, len(names))
+	runOpts := append(append([]extrareq.Option(nil), opts...), extrareq.WithoutModels())
+	for i, name := range names {
+		fmt.Fprintf(os.Stderr, "reqgen: measuring %s over %d configurations...\n",
+			name, len(grids[i].Procs)*len(grids[i].Ns))
+		res, err := extrareq.Run(context.Background(), extrareq.Spec{App: name, Grid: grids[i]}, runOpts...)
+		if res != nil {
+			campaigns[i], reports[i] = res.Campaign, res.Report
+			if res.CacheHit {
+				fmt.Fprintf(os.Stderr, "reqgen: %s served from campaign cache\n", name)
 			}
-			r := &workload.ResilientRunner{
-				App:       measured[i],
-				Faults:    plan,
-				Retries:   *retries,
-				MinPoints: *minPoints,
-				Metrics:   reg,
-				Tracer:    tracer,
-			}
-			campaigns[i], reports[i], errs[i] = r.Run(grids[i])
-		}(i)
-	}
-	wg.Wait()
-	for _, r := range reports {
-		if r != nil && (plan != nil || r.Degraded()) {
-			fmt.Fprint(os.Stderr, r.Render())
 		}
-	}
-	if tracer != nil {
-		if err := obs.WriteTraceFile(*tracePath, tracer); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "reqgen: wrote event trace to %s\n", *tracePath)
-	}
-	if reg != nil {
-		if err := obs.WriteMetricsFile(*metricsPath, reg); err != nil {
-			fatal(err)
-		}
-		fmt.Fprint(os.Stderr, report.CampaignSummary(reports, reg.Snapshot()))
-		fmt.Fprintf(os.Stderr, "reqgen: wrote metrics to %s\n", *metricsPath)
-	}
-	for _, err := range errs {
 		if err != nil {
+			shared.ReportCampaigns(os.Stderr, reports)
 			fatal(err)
 		}
+	}
+	shared.ReportCampaigns(os.Stderr, reports)
+	if err := shared.Finish(os.Stderr, "reqgen", reports); err != nil {
+		fatal(err)
 	}
 
 	for i, name := range names {
@@ -177,6 +124,9 @@ func main() {
 		}
 		path := *out
 		if path == "" || *all {
+			if err := os.MkdirAll(*dir, 0o755); err != nil {
+				fatal(err)
+			}
 			path = filepath.Join(*dir, strings.ToLower(name)+ext)
 		}
 		switch *format {

@@ -13,17 +13,28 @@
 //
 // # Quickstart
 //
-//	campaign, err := extrareq.Measure("Kripke")      // run the proxy over a p×n grid
-//	reqs, err := extrareq.Model(campaign)            // fit Table II models
-//	fmt.Println(reqs.App.Models[extrareq.Flops])     // e.g. "138·n"
+// Run is the measurement entry point: it measures a proxy application
+// over a p×n grid and fits the Table II requirement models, with faults,
+// retries, observability, and campaign caching as functional options.
+//
+//	res, err := extrareq.Run(ctx, extrareq.Spec{App: "Kripke"})
+//	fmt.Println(res.Requirements.App.Models[extrareq.Flops]) // e.g. "138·n"
+//
+//	// All five case-study apps, resilient to injected faults, with a
+//	// persistent campaign cache:
+//	plan, err := extrareq.ParseFaultSpec("seed=7,drop=0.01")
+//	results, classes, err := extrareq.RunAll(ctx,
+//		extrareq.WithFaults(plan),
+//		extrareq.WithRetries(3),
+//		extrareq.WithCache(".extrareq-cache"))
 //
 //	study, err := extrareq.StudyUpgrades(extrareq.PaperApps(), extrareq.DefaultBaseline())
 //	fmt.Println(extrareq.RenderTable5(study, extrareq.PaperAppNames()))
 package extrareq
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"extrareq/internal/apps"
 	"extrareq/internal/codesign"
@@ -76,18 +87,30 @@ const (
 
 // Measure runs the named proxy application (Kripke, LULESH, MILC, Relearn,
 // or icoFoam) over its default measurement grid and returns the campaign.
+//
+// Deprecated: use Run with WithoutModels; the campaign is byte-identical.
 func Measure(appName string) (*Campaign, error) {
-	return MeasureGrid(appName, workload.DefaultGrid(appName))
+	res, err := Run(context.Background(), Spec{App: appName}, WithoutModels())
+	if err != nil {
+		return nil, err
+	}
+	return res.Campaign, nil
 }
 
 // MeasureGrid is Measure with an explicit grid.
+//
+// Deprecated: use Run with a Spec carrying the grid.
 func MeasureGrid(appName string, grid Grid) (*Campaign, error) {
-	app, ok := apps.ByName(appName)
-	if !ok {
-		return nil, fmt.Errorf("extrareq: unknown application %q (have %v)", appName, apps.Names())
+	res, err := Run(context.Background(), Spec{App: appName, Grid: grid}, WithoutModels())
+	if err != nil {
+		return nil, err
 	}
-	return workload.Run(app, grid)
+	return res.Campaign, nil
 }
+
+// DefaultGrid returns the named app's default measurement grid from the
+// paper's case study (what Run uses when Spec.Grid is zero).
+func DefaultGrid(appName string) Grid { return workload.DefaultGrid(appName) }
 
 // Model fits the five Table II requirement models from a campaign using
 // the default generator options.
@@ -100,29 +123,19 @@ func ModelWith(c *Campaign, opts *ModelOptions) (*Requirements, error) {
 
 // MeasureAndModelAll runs the full pipeline for all five case-study apps
 // and returns the fitted requirements plus the Figure 3 error classes.
-// Each campaign's (p, n) configurations are measured concurrently across
-// all cores, and every campaign×metric fit is fanned across a shared
-// worker pool with a content-keyed fit cache; the results are byte-for-byte
-// identical to the serial pipeline.
+//
+// Deprecated: use RunAll; the requirements and error classes are
+// byte-identical, and RunAll additionally returns the campaign reports.
 func MeasureAndModelAll() ([]*Requirements, []ErrorClass, error) {
-	all := apps.All()
-	campaigns := make([]*Campaign, len(all))
-	errs := make([]error, len(all))
-	var wg sync.WaitGroup
-	for i, a := range all {
-		wg.Add(1)
-		go func(i int, a apps.App) {
-			defer wg.Done()
-			campaigns[i], errs[i] = workload.Run(a, workload.DefaultGrid(a.Name()))
-		}(i, a)
+	results, classes, err := RunAll(context.Background())
+	if err != nil {
+		return nil, nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
-		}
+	fits := make([]*Requirements, len(results))
+	for i, r := range results {
+		fits[i] = r.Requirements
 	}
-	return workload.FitAllParallel(campaigns, nil, 0, NewFitCache())
+	return fits, classes, nil
 }
 
 // Fault injection and resilient measurement (§II-C robustness: campaigns
@@ -159,13 +172,20 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) { return simmpi.ParseFaultS
 // the ones that keep failing. The report says what was lost and whether the
 // surviving coverage still satisfies minPoints (0 selects the paper's
 // five-point rule) per axis.
+//
+// Deprecated: use Run with WithFaults, WithRetries, WithMinPoints, and
+// WithoutModels; campaign and report are byte-identical.
 func MeasureResilient(appName string, grid Grid, plan *FaultPlan, retries, minPoints int) (*Campaign, *CampaignReport, error) {
-	app, ok := apps.ByName(appName)
-	if !ok {
-		return nil, nil, fmt.Errorf("extrareq: unknown application %q (have %v)", appName, apps.Names())
+	res, err := Run(context.Background(), Spec{App: appName, Grid: grid},
+		WithFaults(plan), WithRetries(retries), WithMinPoints(minPoints), WithoutModels())
+	if err != nil {
+		var report *CampaignReport
+		if res != nil {
+			report = res.Report
+		}
+		return nil, report, err
 	}
-	r := &ResilientRunner{App: app, Faults: plan, Retries: retries, MinPoints: minPoints}
-	return r.Run(grid)
+	return res.Campaign, res.Report, nil
 }
 
 // MeasureAndModelAllResilient is MeasureAndModelAll on an unreliable
@@ -174,33 +194,10 @@ func MeasureResilient(appName string, grid Grid, plan *FaultPlan, retries, minPo
 // come back alongside the fits so callers can qualify degraded models.
 // Each app derives its own fault seed from the plan, so apps fail
 // independently but deterministically.
+//
+// Deprecated: use RunAll with WithFaults, WithRetries, and WithMinPoints.
 func MeasureAndModelAllResilient(plan *FaultPlan, retries, minPoints int) ([]*Requirements, []ErrorClass, []*CampaignReport, error) {
-	all := apps.All()
-	campaigns := make([]*Campaign, len(all))
-	reports := make([]*CampaignReport, len(all))
-	errs := make([]error, len(all))
-	var wg sync.WaitGroup
-	for i, a := range all {
-		wg.Add(1)
-		go func(i int, a apps.App) {
-			defer wg.Done()
-			r := &ResilientRunner{
-				App:       a,
-				Faults:    plan.Derive(appSalt(a.Name())),
-				Retries:   retries,
-				MinPoints: minPoints,
-			}
-			campaigns[i], reports[i], errs[i] = r.Run(workload.DefaultGrid(a.Name()))
-		}(i, a)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, reports, err
-		}
-	}
-	fits, classes, err := workload.FitAllParallel(campaigns, nil, 0, NewFitCache())
-	return fits, classes, reports, err
+	return MeasureAndModelAllResilientObserved(plan, retries, minPoints, nil, nil)
 }
 
 // Observability (§II-C at scale: a campaign must explain itself — what ran,
@@ -233,35 +230,25 @@ func NewTracer(eventsPerRank int) *Tracer { return obs.NewTracer(eventsPerRank) 
 // reporting into the registry (campaign_* and fit_* metrics) and, when tr
 // is non-nil, tracing every simulated run's communication and fault events.
 // Either observer may be nil to disable that half of the instrumentation.
+//
+// Deprecated: use RunAll with WithFaults, WithRetries, WithMinPoints, and
+// WithObservability.
 func MeasureAndModelAllResilientObserved(plan *FaultPlan, retries, minPoints int, reg *MetricsRegistry, tr *Tracer) ([]*Requirements, []ErrorClass, []*CampaignReport, error) {
-	all := apps.All()
-	campaigns := make([]*Campaign, len(all))
-	reports := make([]*CampaignReport, len(all))
-	errs := make([]error, len(all))
-	var wg sync.WaitGroup
-	for i, a := range all {
-		wg.Add(1)
-		go func(i int, a apps.App) {
-			defer wg.Done()
-			r := &ResilientRunner{
-				App:       a,
-				Faults:    plan.Derive(appSalt(a.Name())),
-				Retries:   retries,
-				MinPoints: minPoints,
-				Metrics:   reg,
-				Tracer:    tr,
-			}
-			campaigns[i], reports[i], errs[i] = r.Run(workload.DefaultGrid(a.Name()))
-		}(i, a)
+	results, classes, err := RunAll(context.Background(),
+		WithFaults(plan), WithRetries(retries), WithMinPoints(minPoints),
+		WithObservability(reg, tr))
+	reports := make([]*CampaignReport, len(results))
+	for i, r := range results {
+		reports[i] = r.Report
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, reports, err
-		}
+	if err != nil {
+		return nil, nil, reports, err
 	}
-	fits, classes, err := workload.FitAllObserved(campaigns, nil, 0, NewFitCache(), reg)
-	return fits, classes, reports, err
+	fits := make([]*Requirements, len(results))
+	for i, r := range results {
+		fits[i] = r.Requirements
+	}
+	return fits, classes, reports, nil
 }
 
 // WriteTraceFile dumps the tracer to path: a ".json" suffix selects the

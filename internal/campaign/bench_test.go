@@ -1,0 +1,57 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+)
+
+// Cold/warm cache benchmarks back the scheduler's headline claim: a warm
+// cache serves a campaign at least an order of magnitude faster than
+// measuring it. Cold iterations defeat the cache by varying the grid seed
+// (a key ingredient); warm iterations repeat one request. Both run one
+// iteration in the scripts/check.sh bench smoke.
+
+func BenchmarkMeasureCampaignColdCache(b *testing.B) {
+	s, err := New(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	app := testApp(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grid := testGrid()
+		grid.Seed = int64(i + 1) // fresh key every iteration
+		out, err := s.Run(context.Background(), Request{App: app, Grid: grid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.CacheHit {
+			b.Fatal("cold iteration hit the cache")
+		}
+	}
+}
+
+func BenchmarkMeasureCampaignWarmCache(b *testing.B) {
+	s, err := New(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	req := Request{App: testApp(b), Grid: testGrid()}
+	if _, err := s.Run(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.Run(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.CacheHit {
+			b.Fatal("warm iteration missed the cache")
+		}
+	}
+}

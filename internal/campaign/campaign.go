@@ -1,0 +1,339 @@
+// Package campaign schedules measurement campaigns through one shared
+// worker pool and serves repeated campaigns from a content-addressed
+// cache.
+//
+// The paper's workflow (§IV) reruns the same small campaigns constantly —
+// while tuning fault plans, regenerating report tables, or comparing model
+// variants — and every rerun used to pay the full simulation cost plus a
+// private worker pool per call. The Scheduler fixes both: all campaigns
+// submitted to it, from any goroutine, draw on a single pool of workers
+// (so concurrent campaigns interleave instead of oversubscribing), and
+// each finished campaign is stored under a deterministic content hash of
+// everything its bytes depend on. Because ResilientRunner is deterministic
+// (seeds derive from the plan and configuration, never from scheduling), a
+// key hit can be served from cache byte-identically to a fresh run.
+//
+// Caching is two-level: an in-memory LRU of marshaled entries, optionally
+// backed by a directory of JSON files (one per key, written atomically via
+// temp file + rename, loaded tolerantly — a corrupt or truncated file is a
+// miss, not an error). Cache traffic is observable through the cache_hit,
+// cache_miss, and cache_bytes counters of the request's obs.Registry.
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"extrareq/internal/apps"
+	"extrareq/internal/obs"
+	"extrareq/internal/simmpi"
+	"extrareq/internal/workload"
+)
+
+// Metric names under which cache traffic is counted in a request's
+// obs.Registry. cache_bytes counts the marshaled entry sizes moved to or
+// from the disk store (written on miss, read on cold hit).
+const (
+	MetricCacheHit   = "cache_hit"
+	MetricCacheMiss  = "cache_miss"
+	MetricCacheBytes = "cache_bytes"
+)
+
+// DefaultMemEntries is the in-memory LRU capacity when Options leaves it
+// zero. Entries are a few KB of JSON each, so the default costs little.
+const DefaultMemEntries = 64
+
+// Request describes one campaign: which app, over which grid, under which
+// fault plan and resilience budget. The observability handles ride along
+// to the runner but do not participate in the cache key.
+type Request struct {
+	App       apps.App
+	Grid      workload.Grid
+	Faults    *simmpi.FaultPlan
+	Retries   int
+	MinPoints int
+	Metrics   *obs.Registry
+	Tracer    *obs.Tracer
+}
+
+// Outcome is a finished campaign together with its provenance: the cache
+// key it is stored under and whether it was served from cache.
+type Outcome struct {
+	Campaign *workload.Campaign
+	Report   *workload.CampaignReport
+	Key      Key
+	CacheHit bool
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers is the shared pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// MemEntries caps the in-memory LRU; <= 0 selects DefaultMemEntries.
+	MemEntries int
+	// Dir, when non-empty, enables the on-disk store in that directory
+	// (created if absent).
+	Dir string
+}
+
+// Stats is a point-in-time view of a Scheduler's cache traffic, counted
+// independently of any obs.Registry so tests and CLI summaries work
+// without one.
+type Stats struct {
+	Hits   int64
+	Misses int64
+	// Bytes is the total marshaled entry bytes moved to or from disk.
+	Bytes int64
+}
+
+// Scheduler runs campaigns through one shared worker pool with a
+// two-level result cache. It is safe for concurrent use; Close releases
+// the pool (outstanding Run calls must have returned).
+type Scheduler struct {
+	pool   *pool
+	mem    *lru
+	disk   *DiskStore // nil without Options.Dir
+	hits   atomic.Int64
+	misses atomic.Int64
+	bytes  atomic.Int64
+}
+
+// New builds a Scheduler and starts its worker pool.
+func New(o Options) (*Scheduler, error) {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	mem := o.MemEntries
+	if mem <= 0 {
+		mem = DefaultMemEntries
+	}
+	s := &Scheduler{
+		pool: newPool(workers),
+		mem:  newLRU(mem),
+	}
+	if o.Dir != "" {
+		disk, err := OpenDiskStore(o.Dir)
+		if err != nil {
+			s.pool.close()
+			return nil, err
+		}
+		s.disk = disk
+	}
+	return s, nil
+}
+
+// Close stops the worker pool. The Scheduler must not be used afterwards.
+func (s *Scheduler) Close() { s.pool.close() }
+
+// Stats returns the cache traffic counted so far.
+func (s *Scheduler) Stats() Stats {
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Bytes: s.bytes.Load()}
+}
+
+// Run measures one campaign, serving it from cache when an identical one
+// has been measured before. Fresh results are computed on the shared pool
+// via ResilientRunner, then stored in memory and (when configured) on
+// disk. Failed campaigns are never cached; their report, when the runner
+// produced one, is returned alongside the error so callers can render the
+// partial account. A cache-dir write failure is a real error — the caller
+// asked for persistence — but the measured outcome is still returned with
+// it, so nothing is lost.
+func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	key := ComputeKey(req)
+	cm := newCacheMetrics(req.Metrics)
+
+	if data, ok := s.mem.get(key); ok {
+		if c, rep, err := decode(key, data); err == nil {
+			s.hits.Add(1)
+			cm.addHit()
+			return &Outcome{Campaign: c, Report: rep, Key: key, CacheHit: true}, nil
+		}
+		// An undecodable in-memory entry cannot normally happen (we only
+		// store bytes we encoded); fall through and remeasure.
+	}
+	if s.disk != nil {
+		if data, ok := s.disk.Load(key); ok {
+			if c, rep, err := decode(key, data); err == nil {
+				s.mem.put(key, data)
+				s.hits.Add(1)
+				s.bytes.Add(int64(len(data)))
+				cm.addHit()
+				cm.addBytes(int64(len(data)))
+				return &Outcome{Campaign: c, Report: rep, Key: key, CacheHit: true}, nil
+			}
+			// Corrupt on-disk entry: treat as a miss; the fresh result
+			// below overwrites it atomically.
+		}
+	}
+
+	s.misses.Add(1)
+	cm.addMiss()
+	r := &workload.ResilientRunner{
+		App:       req.App,
+		Faults:    req.Faults,
+		Retries:   req.Retries,
+		MinPoints: req.MinPoints,
+		Metrics:   req.Metrics,
+		Tracer:    req.Tracer,
+		Exec:      s.exec(ctx),
+	}
+	c, rep, err := r.Run(req.Grid)
+	if err != nil {
+		return &Outcome{Report: rep, Key: key}, err
+	}
+	data, err := encode(key, req.App.Name(), c, rep)
+	if err != nil {
+		// Campaigns are plain data; this cannot happen. Degrade loudly.
+		return &Outcome{Campaign: c, Report: rep, Key: key}, err
+	}
+	s.mem.put(key, data)
+	out := &Outcome{Campaign: c, Report: rep, Key: key}
+	if s.disk != nil {
+		if err := s.disk.Store(key, data); err != nil {
+			return out, err
+		}
+		s.bytes.Add(int64(len(data)))
+		cm.addBytes(int64(len(data)))
+	}
+	return out, nil
+}
+
+// RunBatch runs the requests concurrently, all drawing on the scheduler's
+// one pool, and returns per-request outcomes and errors (both indexed like
+// reqs). Unlike errgroup-style helpers it never abandons siblings: every
+// request runs to completion unless ctx is cancelled.
+func (s *Scheduler) RunBatch(ctx context.Context, reqs []Request) ([]*Outcome, []error) {
+	outs := make([]*Outcome, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = s.Run(ctx, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+// exec adapts the shared pool to a single campaign's ExecFunc. Submission
+// stops at context cancellation; tasks already running complete first (the
+// runner's slots stay consistent), then the cause is reported.
+func (s *Scheduler) exec(ctx context.Context) workload.ExecFunc {
+	return func(n int, run func(i int)) error {
+		var done sync.WaitGroup
+		done.Add(n)
+		var err error
+		submitted := 0
+		for i := 0; i < n; i++ {
+			t := task{run: run, i: i, done: &done}
+			select {
+			case s.pool.tasks <- t:
+				submitted++
+			case <-ctx.Done():
+				err = context.Cause(ctx)
+			}
+			if err != nil {
+				break
+			}
+		}
+		for i := submitted; i < n; i++ {
+			done.Done()
+		}
+		done.Wait()
+		return err
+	}
+}
+
+// cacheMetrics resolves the cache counters once per request; without a
+// registry every field stays nil and the add methods are no-ops.
+type cacheMetrics struct {
+	hit, miss, bytes *obs.Counter
+}
+
+func newCacheMetrics(reg *obs.Registry) cacheMetrics {
+	if reg == nil {
+		return cacheMetrics{}
+	}
+	return cacheMetrics{
+		hit:   reg.Counter(MetricCacheHit),
+		miss:  reg.Counter(MetricCacheMiss),
+		bytes: reg.Counter(MetricCacheBytes),
+	}
+}
+
+func (m cacheMetrics) addHit() {
+	if m.hit != nil {
+		m.hit.Add(1)
+	}
+}
+
+func (m cacheMetrics) addMiss() {
+	if m.miss != nil {
+		m.miss.Add(1)
+	}
+}
+
+func (m cacheMetrics) addBytes(n int64) {
+	if m.bytes != nil {
+		m.bytes.Add(n)
+	}
+}
+
+// task is one unit of pool work: slot i of some campaign's grid.
+type task struct {
+	run  func(i int)
+	i    int
+	done *sync.WaitGroup
+}
+
+// pool is the shared worker pool. It is deliberately simple: a fixed set
+// of goroutines draining one unbuffered channel. Campaign goroutines block
+// in exec while submitting, workers never block on campaigns, so the two
+// layers cannot deadlock.
+type pool struct {
+	tasks chan task
+	wg    sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	p := &pool{tasks: make(chan task)}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func(w int) {
+			defer p.wg.Done()
+			labels := pprof.Labels("pool", "campaign.Scheduler",
+				"worker", strconv.Itoa(w))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				for t := range p.tasks {
+					t.run(t.i)
+					t.done.Done()
+				}
+			})
+		}(w)
+	}
+	return p
+}
+
+func (p *pool) close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// appName tolerates a nil App so ComputeKey never panics; the runner
+// rejects the nil App with a proper error.
+func appName(a apps.App) string {
+	if a == nil {
+		return ""
+	}
+	return a.Name()
+}

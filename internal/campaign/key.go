@@ -1,0 +1,55 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// KeyVersion salts every cache key. Bump it whenever a change anywhere in
+// the measurement stack (simmpi algorithms, fault derivation, app kernels,
+// sampling order, ...) can alter campaign bytes: old entries then simply
+// stop matching, which is the entire invalidation story — no migration, no
+// deletion pass.
+const KeyVersion = 1
+
+// Key is the content address of a campaign request: two requests share a
+// key exactly when the measurement they describe is byte-identical (the
+// determinism guarantee of ResilientRunner — seeds derive from plan and
+// configuration, never from scheduling).
+type Key [sha256.Size]byte
+
+// String returns the lowercase hex form, which is also the on-disk file
+// stem.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ComputeKey hashes everything a campaign's bytes depend on: the version
+// salt, the app name, the grid (procs, problem sizes, seed, repeats), the
+// canonical fault-spec string (inactive plans hash like no plan, because
+// they measure like no plan), the retry budget, and the min-points
+// threshold. Observability handles are deliberately excluded — tracing a
+// campaign does not change its result.
+func ComputeKey(req Request) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "extrareq/campaign/v%d\n", KeyVersion)
+	fmt.Fprintf(h, "app:%s\n", appName(req.App))
+	fmt.Fprintf(h, "procs:%v\nns:%v\nseed:%d\nrepeats:%d\n",
+		req.Grid.Procs, req.Grid.Ns, req.Grid.Seed, req.Grid.Repeats)
+	plan := ""
+	if req.Faults != nil && req.Faults.Active() {
+		plan = req.Faults.String()
+	}
+	fmt.Fprintf(h, "faults:%s\n", plan)
+	retries := req.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	minPoints := req.MinPoints
+	if minPoints < 0 {
+		minPoints = 0
+	}
+	fmt.Fprintf(h, "retries:%d\nminpoints:%d\n", retries, minPoints)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}

@@ -1,0 +1,172 @@
+package campaign
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"extrareq/internal/workload"
+)
+
+// Cache entry encoding. A single JSON document carries both the campaign
+// and its report, prefixed with the format version and its own key so a
+// load can prove the file is what the name claims. Memory and disk store
+// the same bytes; every cache hit — warm or cold — is decoded from those
+// bytes, so a hit can only ever produce what a fresh run marshals to.
+type entry struct {
+	Version  int                      `json:"version"`
+	Key      string                   `json:"key"`
+	App      string                   `json:"app"`
+	Campaign *workload.Campaign       `json:"campaign"`
+	Report   *workload.CampaignReport `json:"report"`
+}
+
+// encode marshals a finished campaign into its cache representation.
+func encode(key Key, app string, c *workload.Campaign, rep *workload.CampaignReport) ([]byte, error) {
+	return json.Marshal(&entry{
+		Version:  KeyVersion,
+		Key:      key.String(),
+		App:      app,
+		Campaign: c,
+		Report:   rep,
+	})
+}
+
+// decode unmarshals a cache entry and validates it against the key that
+// addressed it. Any mismatch (format drift, truncation, a file renamed by
+// hand) is an error; callers treat that as a cache miss, never a failure.
+func decode(key Key, data []byte) (*workload.Campaign, *workload.CampaignReport, error) {
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, nil, fmt.Errorf("campaign: corrupt cache entry: %w", err)
+	}
+	if e.Version != KeyVersion {
+		return nil, nil, fmt.Errorf("campaign: cache entry version %d, want %d", e.Version, KeyVersion)
+	}
+	if e.Key != key.String() {
+		return nil, nil, fmt.Errorf("campaign: cache entry key %s does not match %s", e.Key, key)
+	}
+	if e.Campaign == nil || e.Report == nil {
+		return nil, nil, fmt.Errorf("campaign: cache entry missing campaign or report")
+	}
+	return e.Campaign, e.Report, nil
+}
+
+// DiskStore persists cache entries as one JSON file per key under a
+// directory. Writes go through a temp file in the same directory followed
+// by an atomic rename, so a crash can leave stale temp files but never a
+// half-written entry; loads of files that fail to decode are treated as
+// misses by the Scheduler, which then overwrites them with a fresh entry.
+type DiskStore struct {
+	dir string
+}
+
+// OpenDiskStore creates dir (and parents) if needed and returns the store.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: cache dir: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+func (s *DiskStore) path(k Key) string {
+	return filepath.Join(s.dir, k.String()+".json")
+}
+
+// Load returns the stored bytes for k, or ok=false if the entry does not
+// exist or cannot be read. Validation of the bytes is the caller's job
+// (decode), so an unreadable or corrupt file degrades to a miss.
+func (s *DiskStore) Load(k Key) (data []byte, ok bool) {
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Store writes the entry atomically: temp file, fsync-free rename. Rename
+// within one directory is atomic on POSIX, so concurrent writers of the
+// same key race benignly — both write identical bytes (the key is a
+// content hash) and the loser's rename just replaces them.
+func (s *DiskStore) Store(k Key, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, "."+k.String()+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache write: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	return nil
+}
+
+// lru is a small mutex-guarded LRU over marshaled cache entries. It stores
+// bytes, not decoded structs, so hits from memory and disk share one code
+// path and identical aliasing behavior (every hit decodes fresh objects).
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[Key]*list.Element
+}
+
+type lruItem struct {
+	key  Key
+	data []byte
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[Key]*list.Element),
+	}
+}
+
+func (c *lru) get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruItem).data, true
+}
+
+func (c *lru) put(k Key, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruItem).data = data
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&lruItem{key: k, data: data})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+	}
+}
+
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,98 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var f Flags
+	f.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return &f
+}
+
+func TestRegisterDefaults(t *testing.T) {
+	f := parse(t)
+	if f.Retries != 2 {
+		t.Errorf("default retries = %d, want 2", f.Retries)
+	}
+	if f.Faults != "" || f.CacheDir != "" || f.CacheStats {
+		t.Errorf("unexpected non-zero defaults: %+v", f)
+	}
+}
+
+func TestSetupBuildsOptions(t *testing.T) {
+	f := parse(t,
+		"-faults", "seed=3,drop=0.01",
+		"-retries", "5",
+		"-min-points", "4",
+		"-cache-dir", t.TempDir(),
+		"-cache-stats",
+	)
+	var diag strings.Builder
+	opts, err := f.Setup(&diag, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retries + min-points always, faults + observability (from
+	// -cache-stats) + cache here.
+	if len(opts) != 5 {
+		t.Errorf("got %d options, want 5", len(opts))
+	}
+	if f.Plan() == nil || f.Plan().Drop != 0.01 {
+		t.Errorf("plan = %+v, want drop=0.01", f.Plan())
+	}
+	if f.Registry() == nil {
+		t.Error("-cache-stats did not allocate a registry")
+	}
+	if f.Tracer() != nil {
+		t.Error("tracer allocated without -trace")
+	}
+}
+
+func TestSetupRejectsBadFaultSpec(t *testing.T) {
+	f := parse(t, "-faults", "drop=banana")
+	if _, err := f.Setup(io.Discard, "test"); err == nil {
+		t.Fatal("malformed fault spec accepted")
+	}
+}
+
+func TestObserving(t *testing.T) {
+	if parse(t).Observing() {
+		t.Error("zero flags report observing")
+	}
+	for _, args := range [][]string{
+		{"-trace", "t.jsonl"},
+		{"-metrics", "m.json"},
+		{"-cache-stats"},
+	} {
+		if !parse(t, args...).Observing() {
+			t.Errorf("%v does not report observing", args)
+		}
+	}
+}
+
+func TestFinishPrintsCacheStats(t *testing.T) {
+	f := parse(t, "-cache-stats")
+	if _, err := f.Setup(io.Discard, "test"); err != nil {
+		t.Fatal(err)
+	}
+	f.Registry().Counter("cache_hit").Add(3)
+	f.Registry().Counter("cache_miss").Add(1)
+	var diag strings.Builder
+	if err := f.Finish(&diag, "test", nil); err != nil {
+		t.Fatal(err)
+	}
+	out := diag.String()
+	if !strings.Contains(out, "3 hits") || !strings.Contains(out, "1 misses") {
+		t.Errorf("cache stats missing from %q", out)
+	}
+}

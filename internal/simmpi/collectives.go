@@ -44,7 +44,9 @@ func (p *Proc) Bcast(root int, data []float64) []float64 {
 			for mask < p.size {
 				if vrank&mask != 0 {
 					parent := ((vrank - mask) + root) % p.size
-					copy(data, p.Recv(parent))
+					msg := p.Recv(parent)
+					copy(data, msg)
+					p.release(msg)
 					break
 				}
 				mask <<= 1
@@ -80,24 +82,27 @@ func (p *Proc) Reduce(root int, data []float64, op Op) []float64 {
 	}
 	var out []float64
 	p.collective("MPI_Reduce", len(data), func() {
-		acc := append([]float64(nil), data...)
+		acc := p.clone(data)
 		vrank := (p.rank - root + p.size) % p.size
 		mask := 1
 		for mask < p.size {
 			if vrank&mask != 0 {
 				parent := ((vrank &^ mask) + root) % p.size
 				p.Send(parent, acc)
+				p.release(acc)
 				acc = nil
 				break
 			}
 			peer := vrank | mask
 			if peer < p.size {
-				op.apply(acc, p.Recv((peer+root)%p.size))
+				recv := p.Recv((peer + root) % p.size)
+				op.apply(acc, recv)
+				p.release(recv)
 			}
 			mask <<= 1
 		}
 		if p.rank == root {
-			out = acc
+			out = acc // ownership passes to the caller, never recycled
 		}
 	})
 	return out
@@ -109,7 +114,7 @@ func (p *Proc) Reduce(root int, data []float64, op Op) []float64 {
 func (p *Proc) Allreduce(data []float64, op Op) []float64 {
 	var out []float64
 	p.collective("MPI_Allreduce", len(data), func() {
-		acc := append([]float64(nil), data...)
+		acc := p.clone(data)
 		p2 := 1
 		for p2*2 <= p.size {
 			p2 *= 2
@@ -118,23 +123,27 @@ func (p *Proc) Allreduce(data []float64, op Op) []float64 {
 		// Fold the extra ranks into the power-of-two group.
 		if p.rank >= p2 {
 			p.Send(p.rank-p2, acc)
+			p.release(acc)
 			acc = p.Recv(p.rank - p2) // final result arrives afterwards
 			out = acc
 			return
 		}
 		if p.rank < extra {
-			op.apply(acc, p.Recv(p.rank+p2))
+			recv := p.Recv(p.rank + p2)
+			op.apply(acc, recv)
+			p.release(recv)
 		}
 		// Recursive doubling among the first p2 ranks.
 		for mask := 1; mask < p2; mask <<= 1 {
 			peer := p.rank ^ mask
 			recv := p.SendRecv(peer, acc, peer)
 			op.apply(acc, recv)
+			p.release(recv)
 		}
 		if p.rank < extra {
 			p.Send(p.rank+p2, acc)
 		}
-		out = acc
+		out = acc // ownership passes to the caller
 	})
 	return out
 }
@@ -149,12 +158,15 @@ func (p *Proc) Allgather(data []float64) []float64 {
 		right := (p.rank + 1) % p.size
 		left := (p.rank - 1 + p.size) % p.size
 		cur := p.rank
-		block := append([]float64(nil), data...)
+		block := p.clone(data)
 		for step := 1; step < p.size; step++ {
-			block = p.SendRecv(right, block, left)
+			next := p.SendRecv(right, block, left)
+			p.release(block)
+			block = next
 			cur = (cur - 1 + p.size) % p.size
 			copy(out[cur*m:], block)
 		}
+		p.release(block)
 	})
 	return out
 }

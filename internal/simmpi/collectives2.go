@@ -28,6 +28,7 @@ func (p *Proc) Gather(root int, data []float64) []float64 {
 			}
 			block := p.Recv(r)
 			copy(out[r*m:], block)
+			p.release(block)
 		}
 	})
 	return out
@@ -81,6 +82,9 @@ func (p *Proc) ReduceScatter(data []float64, op Op) []float64 {
 			}
 		}
 		out = p.Scatter(0, chunks)
+		// Scatter has copied every chunk (the root's own into out, the rest
+		// onto the wire), so the root's reduction buffer can be recycled.
+		p.release(full)
 	})
 	return out
 }
@@ -89,19 +93,21 @@ func (p *Proc) ReduceScatter(data []float64, op Op) []float64 {
 // element-wise combination of the data of ranks 0..i. The implementation is
 // the linear chain algorithm.
 func (p *Proc) Scan(data []float64, op Op) []float64 {
-	acc := append([]float64(nil), data...)
+	acc := p.clone(data)
 	p.collective("MPI_Scan", len(data), func() {
 		if p.rank > 0 {
+			// Combine directly into the received buffer (same operand order
+			// as before: prev op acc), then retire the old accumulator.
 			prev := p.Recv(p.rank - 1)
-			tmp := append([]float64(nil), prev...)
-			op.apply(tmp, acc)
-			acc = tmp
+			op.apply(prev, acc)
+			p.release(acc)
+			acc = prev
 		}
 		if p.rank+1 < p.size {
 			p.Send(p.rank+1, acc)
 		}
 	})
-	return acc
+	return acc // ownership passes to the caller
 }
 
 // scatterElems sums the root's chunk elements for the Scatter trace marker

@@ -137,7 +137,7 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) {
 		}
 		key, val, ok := strings.Cut(item, "=")
 		if !ok {
-			return nil, fmt.Errorf("simmpi: fault spec item %q is not key=value", item)
+			return nil, fmt.Errorf("simmpi: fault spec item %q is not of the form key=value (e.g. \"seed=7,drop=0.01\")", item)
 		}
 		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
 		prob := func() (float64, error) {
@@ -152,7 +152,7 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) {
 		case "seed":
 			f.Seed, err = strconv.ParseInt(val, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("simmpi: fault spec seed=%q: %v", val, err)
+				return nil, fmt.Errorf("simmpi: fault spec seed=%q: want a 64-bit integer", val)
 			}
 		case "kill":
 			if rankStr, evStr, targeted := strings.Cut(val, "@"); targeted {

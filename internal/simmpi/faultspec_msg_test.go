@@ -1,0 +1,36 @@
+package simmpi
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fault-spec parse errors must name the offending token and the valid
+// range or grammar, so a user can fix the flag without reading the source.
+func TestParseFaultSpecMessages(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string
+	}{
+		{"drop", []string{`"drop"`, "key=value"}},
+		{"seed=abc", []string{`seed="abc"`, "64-bit integer"}},
+		{"drop=1.5", []string{`drop="1.5"`, "[0,1]"}},
+		{"kill=banana", []string{`kill="banana"`, "[0,1]"}},
+		{"kill=-1@5", []string{`kill="-1@5"`, "<rank>@<event>", ">= 0"}},
+		{"perturb=1", []string{`perturb="1"`, "[0,1)"}},
+		{"maxdelay=-1ms", []string{`maxdelay="-1ms"`, "non-negative duration"}},
+		{"frob=1", []string{`"frob"`, "seed, kill, drop, delay, dup, maxdelay, perturb"}},
+	}
+	for _, c := range cases {
+		_, err := ParseFaultSpec(c.spec)
+		if err == nil {
+			t.Errorf("spec %q parsed", c.spec)
+			continue
+		}
+		for _, want := range c.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("spec %q error %q missing %q", c.spec, err, want)
+			}
+		}
+	}
+}

@@ -42,13 +42,25 @@ func (p *Proc) Isend(dst int, data []float64) *Request {
 		panic(fmt.Sprintf("simmpi: Isend to invalid rank %d (size %d)", dst, p.size))
 	}
 	p.commEvent()
-	msg := append([]float64(nil), data...)
+	msg := p.clone(data)
 	nbytes := int64(len(msg) * bytesPerElem)
 	p.Counters.Add(counters.BytesSent, nbytes)
 	p.Counters.Add(counters.MsgsSent, 1)
 	p.Prof.AddMetric("bytes_sent", float64(nbytes))
 	p.emit(obs.KindSend, "isend", dst, nbytes)
-	r := &Request{proc: p, dst: dst, pending: p.outgoing(dst, msg)}
+	r := &Request{proc: p, dst: dst}
+	if p.faults == nil {
+		// Healthy fast path: one eager enqueue attempt, no wire-message
+		// slice — only a full channel defers the transfer to Wait.
+		select {
+		case p.world.chans[p.rank][dst] <- msg:
+			r.done = true
+		default:
+			r.pending = [][]float64{msg}
+		}
+		return r
+	}
+	r.pending = p.outgoing(dst, msg)
 	for len(r.pending) > 0 {
 		select {
 		case p.world.chans[p.rank][dst] <- r.pending[0]:

@@ -1,0 +1,63 @@
+package simmpi
+
+// Message-buffer recycling for the point-to-point hot path.
+//
+// Every Send copies the caller's payload into a wire buffer whose
+// ownership travels with the message: the sender gives it up at enqueue,
+// the receiver owns it from Recv on. Instead of allocating that buffer per
+// message, each rank keeps a small freelist of buffers it has finished
+// with; a released buffer is reused by the rank's next outbound copy (or
+// collective scratch). The freelist is strictly rank-local — it is touched
+// only from the owning rank's goroutine, so recycling adds no
+// synchronization to the runtime.
+//
+// Ownership rules (internal discipline, enforced by review and the race
+// detector, not the type system):
+//
+//   - A buffer may be released at most once, by the goroutine that owns it.
+//   - The runtime releases only buffers it consumed itself (collective
+//     scratch and intermediate reductions); buffers returned to the
+//     application (Recv results, collective outputs) are never recycled
+//     behind the caller's back.
+
+// freelistCap bounds the per-rank freelist so a rank that receives much
+// more than it sends (e.g. a Bcast leaf) cannot accumulate unbounded
+// buffers; beyond the cap, released buffers are simply dropped for the GC.
+const freelistCap = 64
+
+// getBuf returns a length-n buffer, reusing the rank's freelist when the
+// most recently released buffer is large enough. n == 0 returns nil: empty
+// messages (Barrier) travel as nil payloads and never touch the pool.
+func (p *Proc) getBuf(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if l := len(p.free); l > 0 {
+		b := p.free[l-1]
+		p.free[l-1] = nil
+		p.free = p.free[:l-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Too small for this message size; let it go instead of scanning.
+	}
+	return make([]float64, n)
+}
+
+// clone copies data into a pooled buffer — the allocation-free substitute
+// for append([]float64(nil), data...) on the hot path.
+func (p *Proc) clone(data []float64) []float64 {
+	buf := p.getBuf(len(data))
+	copy(buf, data)
+	return buf
+}
+
+// release returns a consumed message buffer to the rank's freelist. Safe
+// to call with nil. The caller must not touch buf afterwards: the next
+// Send from this rank may overwrite it.
+func (p *Proc) release(buf []float64) {
+	if cap(buf) == 0 || len(p.free) >= freelistCap {
+		return
+	}
+	p.free = append(p.free, buf[:0])
+}

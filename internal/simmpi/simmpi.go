@@ -89,10 +89,12 @@ type Proc struct {
 	// events counts the rank's communication calls (Send/Recv/Isend/Irecv);
 	// faults holds the rank's resolved fault-injection state (nil when the
 	// run has no FaultPlan); ring is the rank's trace buffer (nil when the
-	// run has no Tracer). All three are owned by the rank goroutine.
+	// run has no Tracer); free is the rank's message-buffer freelist (see
+	// pool.go). All four are owned by the rank goroutine.
 	events int64
 	faults *rankFaults
 	ring   *obs.Ring
+	free   [][]float64
 }
 
 // emit records one trace event when tracing is enabled.
@@ -426,12 +428,14 @@ func (p *Proc) Send(dst int, data []float64) {
 	}
 	p.checkCancel()
 	p.commEvent()
-	msg := append([]float64(nil), data...)
-	for _, m := range p.outgoing(dst, msg) {
-		select {
-		case p.world.chans[p.rank][dst] <- m:
-		case <-p.world.cancel:
-			panic(cancelPanic{})
+	msg := p.clone(data)
+	if p.faults == nil {
+		// Healthy fast path: one pooled buffer, one eager enqueue attempt
+		// before falling back to the cancellable blocking send.
+		p.sendWire(dst, msg)
+	} else {
+		for _, m := range p.outgoing(dst, msg) {
+			p.sendWire(dst, m)
 		}
 	}
 	nbytes := int64(len(data) * bytesPerElem)
@@ -441,11 +445,29 @@ func (p *Proc) Send(dst int, data []float64) {
 	p.emit(obs.KindSend, "", dst, nbytes)
 }
 
+// sendWire enqueues one wire message to dst. The eager (buffered) case is
+// a single non-blocking channel operation; only a full buffer falls back
+// to the blocking select against the cancel gate.
+func (p *Proc) sendWire(dst int, m []float64) {
+	ch := p.world.chans[p.rank][dst]
+	select {
+	case ch <- m:
+		return
+	default:
+	}
+	select {
+	case ch <- m:
+	case <-p.world.cancel:
+		panic(cancelPanic{})
+	}
+}
+
 // outgoing applies the rank's fault state to one outbound payload and
-// returns the wire messages to enqueue: the payload itself, nothing (drop),
-// or the payload plus an aliasing-safe duplicate. An injected delay sleeps
-// here, before any delivery. Injected faults are recorded in the rank's
-// trace so a hung or noisy run can be diagnosed from the event stream.
+// returns the wire messages to enqueue: the payload itself, nothing (drop,
+// with the buffer recycled), or the payload plus an aliasing-safe
+// duplicate. An injected delay sleeps here, before any delivery. Injected
+// faults are recorded in the rank's trace so a hung or noisy run can be
+// diagnosed from the event stream.
 func (p *Proc) outgoing(dst int, msg []float64) [][]float64 {
 	if p.faults == nil {
 		return [][]float64{msg}
@@ -459,16 +481,19 @@ func (p *Proc) outgoing(dst int, msg []float64) [][]float64 {
 	switch fate {
 	case fateDrop:
 		p.emit(obs.KindFault, "drop", dst, nbytes)
+		p.release(msg)
 		return nil
 	case fateDup:
 		p.emit(obs.KindFault, "dup", dst, nbytes)
-		return [][]float64{msg, append([]float64(nil), msg...)}
+		return [][]float64{msg, p.clone(msg)}
 	default:
 		return [][]float64{msg}
 	}
 }
 
-// Recv receives the next message from rank src.
+// Recv receives the next message from rank src. The returned slice is
+// owned by the caller (the runtime never recycles a buffer it has handed
+// out), and remains valid indefinitely.
 func (p *Proc) Recv(src int) []float64 {
 	if src < 0 || src >= p.size {
 		panic(fmt.Sprintf("simmpi: Recv from invalid rank %d (size %d)", src, p.size))

@@ -55,8 +55,15 @@ type ResilientRunner struct {
 	// warnings. 0 means FivePointRule.
 	MinPoints int
 	// Workers bounds the configurations measured concurrently (<= 0
-	// selects GOMAXPROCS).
+	// selects GOMAXPROCS). Ignored when Exec is set.
 	Workers int
+	// Exec, when non-nil, replaces the runner's internal worker pool: the
+	// campaign's configurations are handed to it as independent tasks.
+	// Campaign schedulers use this to fan many campaigns through one
+	// shared pool. Results are byte-identical either way — each task
+	// writes only its own slot and the runner's seeds do not depend on
+	// scheduling.
+	Exec ExecFunc
 	// Sleep replaces time.Sleep for backoff waits (test hook). nil uses
 	// time.Sleep.
 	Sleep func(time.Duration)
@@ -314,6 +321,45 @@ func (r *ResilientRunner) measureConfig(grid Grid, p, n int, stackDistance float
 	return Sample{}, out
 }
 
+// ExecFunc runs n independent tasks, calling run(i) exactly once for every
+// i in [0, n), possibly concurrently. A non-nil error means scheduling was
+// abandoned (e.g. the executor's context was cancelled) and some tasks may
+// not have run; implementations must still have returned only after every
+// started task finished, so run never executes after ExecFunc returns.
+type ExecFunc func(n int, run func(i int)) error
+
+// ownPoolExec is the default executor: a private pool of `workers`
+// goroutines, labeled for pprof so the campaign pool is identifiable in
+// goroutine and CPU profiles when the harness runs with -pprof.
+func ownPoolExec(workers int, app string) ExecFunc {
+	return func(n int, run func(i int)) error {
+		if workers > n {
+			workers = n
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				labels := pprof.Labels("pool", "workload.ResilientRunner",
+					"app", app, "worker", strconv.Itoa(w))
+				pprof.Do(context.Background(), labels, func(context.Context) {
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= n {
+							return
+						}
+						run(i)
+					}
+				})
+			}(w)
+		}
+		wg.Wait()
+		return nil
+	}
+}
+
 // Run measures the app over the grid with retries and quarantine, and
 // returns the campaign of surviving samples (p-major/n-minor order, lost
 // configurations omitted) together with the campaign report. Run fails
@@ -356,29 +402,16 @@ func (r *ResilientRunner) Run(grid Grid) (*Campaign, *CampaignReport, error) {
 	samples := make([]Sample, len(configs))
 	outcomes := make([]ConfigOutcome, len(configs))
 	cm := newCampaignMetrics(r.Metrics)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Goroutine labels make the campaign pool identifiable in pprof
-			// profiles (goroutine, CPU) when the harness runs with -pprof.
-			labels := pprof.Labels("pool", "workload.ResilientRunner",
-				"app", r.App.Name(), "worker", strconv.Itoa(w))
-			pprof.Do(context.Background(), labels, func(context.Context) {
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(configs) {
-						return
-					}
-					p, n := configs[i].p, configs[i].n
-					samples[i], outcomes[i] = r.measureConfig(grid, p, n, stackByN[n], cm)
-				}
-			})
-		}(w)
+	exec := r.Exec
+	if exec == nil {
+		exec = ownPoolExec(workers, r.App.Name())
 	}
-	wg.Wait()
+	if err := exec(len(configs), func(i int) {
+		p, n := configs[i].p, configs[i].n
+		samples[i], outcomes[i] = r.measureConfig(grid, p, n, stackByN[n], cm)
+	}); err != nil {
+		return nil, nil, err
+	}
 
 	report := &CampaignReport{App: r.App.Name(), Configs: len(configs), Outcomes: outcomes}
 	if r.Faults.Active() {

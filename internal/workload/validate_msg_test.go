@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// Validation errors must name the offending axis/value and the valid
+// range, so a user can fix a flag without reading the source.
+func TestGridValidateMessages(t *testing.T) {
+	cases := []struct {
+		grid Grid
+		want []string
+	}{
+		{Grid{Ns: []int{64}}, []string{"Procs", "p >= 1"}},
+		{Grid{Procs: []int{2}}, []string{"Ns", "n >= 1"}},
+		{Grid{Procs: []int{2, 0}, Ns: []int{64}}, []string{"process count 0", "Procs", ">= 1"}},
+		{Grid{Procs: []int{2}, Ns: []int{64, -3}}, []string{"problem size -3", "Ns", ">= 1"}},
+	}
+	for _, c := range cases {
+		err := c.grid.Validate()
+		if err == nil {
+			t.Errorf("grid %+v validated", c.grid)
+			continue
+		}
+		for _, want := range c.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("grid %+v error %q missing %q", c.grid, err, want)
+			}
+		}
+	}
+}

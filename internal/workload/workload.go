@@ -68,17 +68,20 @@ func distinctCount(axis []int) int {
 // five-configurations rule of thumb is reported by FivePointWarnings — a
 // sparse grid still measures, it just yields weakly constrained models.
 func (g Grid) Validate() error {
-	if len(g.Procs) == 0 || len(g.Ns) == 0 {
-		return fmt.Errorf("workload: empty grid")
+	if len(g.Procs) == 0 {
+		return fmt.Errorf("workload: grid has no process counts (Procs axis is empty; want at least one p >= 1)")
+	}
+	if len(g.Ns) == 0 {
+		return fmt.Errorf("workload: grid has no problem sizes (Ns axis is empty; want at least one n >= 1)")
 	}
 	for _, p := range g.Procs {
 		if p < 1 {
-			return fmt.Errorf("workload: invalid process count %d in grid", p)
+			return fmt.Errorf("workload: invalid process count %d on the Procs axis (every p must be >= 1)", p)
 		}
 	}
 	for _, n := range g.Ns {
 		if n < 1 {
-			return fmt.Errorf("workload: invalid problem size %d in grid", n)
+			return fmt.Errorf("workload: invalid problem size %d on the Ns axis (every n must be >= 1)", n)
 		}
 	}
 	return nil

@@ -1,0 +1,228 @@
+package extrareq
+
+import (
+	"context"
+	"fmt"
+
+	"extrareq/internal/apps"
+	"extrareq/internal/campaign"
+	"extrareq/internal/workload"
+)
+
+// This file is the package's measurement entry point: one Run function
+// with functional options, replacing the accreted Measure* variants (now
+// deprecated wrappers around Run). All measurement goes through
+// internal/campaign, so every call — resilient or healthy, observed or
+// not — shares one worker pool per invocation and can reuse results from
+// the content-addressed campaign cache (WithCache).
+
+// Spec names what to measure: a proxy application (Kripke, LULESH, MILC,
+// Relearn, or icoFoam) and the p×n grid to run it over. A zero Grid
+// selects the app's default grid from the paper's case study.
+type Spec struct {
+	App  string
+	Grid Grid
+}
+
+// Result is a measured (and, unless WithoutModels, modeled) campaign.
+type Result struct {
+	// Campaign holds the raw samples (nil when the campaign failed).
+	Campaign *Campaign
+	// Requirements are the fitted Table II models; nil with WithoutModels
+	// or when the campaign failed.
+	Requirements *Requirements
+	// Report accounts for retries, quarantine, and surviving coverage.
+	// Consult Report.Degraded before trusting the models.
+	Report *CampaignReport
+	// CacheHit reports that the campaign was served from the cache
+	// (WithCache) instead of being measured.
+	CacheHit bool
+}
+
+// Option configures Run and RunAll.
+type Option func(*runConfig)
+
+type runConfig struct {
+	faults    *FaultPlan
+	retries   int
+	minPoints int
+	reg       *MetricsRegistry
+	tracer    *Tracer
+	cacheDir  string
+	modelOpts *ModelOptions
+	model     bool
+}
+
+func newRunConfig(opts []Option) runConfig {
+	cfg := runConfig{model: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithFaults injects the fault plan into every simulated run. Run applies
+// the plan as given; RunAll derives a per-app seed from it so apps fail
+// independently but deterministically.
+func WithFaults(plan *FaultPlan) Option {
+	return func(c *runConfig) { c.faults = plan }
+}
+
+// WithRetries grants each failing configuration up to n extra attempts
+// before it is quarantined (default 0).
+func WithRetries(n int) Option {
+	return func(c *runConfig) { c.retries = n }
+}
+
+// WithMinPoints sets the per-axis coverage threshold for degradation
+// warnings (default: the paper's five-point rule).
+func WithMinPoints(k int) Option {
+	return func(c *runConfig) { c.minPoints = k }
+}
+
+// WithObservability reports campaign_*, fit_*, and cache_* metrics into
+// reg and, when tr is non-nil, traces every simulated run's communication
+// and fault events. Either handle may be nil.
+func WithObservability(reg *MetricsRegistry, tr *Tracer) Option {
+	return func(c *runConfig) {
+		c.reg = reg
+		c.tracer = tr
+	}
+}
+
+// WithCache persists finished campaigns under dir (created if absent) and
+// serves byte-identical repeats from it. Corrupt or stale entries degrade
+// to cache misses; entries are invalidated wholesale when the cache format
+// version changes.
+func WithCache(dir string) Option {
+	return func(c *runConfig) { c.cacheDir = dir }
+}
+
+// WithModelOptions configures the Extra-P-style model generator.
+func WithModelOptions(mo *ModelOptions) Option {
+	return func(c *runConfig) { c.modelOpts = mo }
+}
+
+// WithoutModels skips model fitting: Result.Requirements stays nil. Use
+// this when only the raw campaign is wanted.
+func WithoutModels() Option {
+	return func(c *runConfig) { c.model = false }
+}
+
+// Run measures one application according to spec and fits its requirement
+// models. It is the single entry point the deprecated Measure* helpers
+// wrap: faults, retries, observability, caching, and modeling are all
+// opt-in. On a campaign error the returned Result still carries the
+// campaign report (when one was produced) so callers can render the
+// partial account.
+func Run(ctx context.Context, spec Spec, opts ...Option) (*Result, error) {
+	cfg := newRunConfig(opts)
+	app, ok := apps.ByName(spec.App)
+	if !ok {
+		return nil, fmt.Errorf("extrareq: unknown application %q (have %v)", spec.App, apps.Names())
+	}
+	grid := spec.Grid
+	if isZeroGrid(grid) {
+		grid = defaultGridFor(app.Name())
+	}
+	sched, err := campaign.New(campaign.Options{Dir: cfg.cacheDir})
+	if err != nil {
+		return nil, err
+	}
+	defer sched.Close()
+	out, err := sched.Run(ctx, campaign.Request{
+		App:       app,
+		Grid:      grid,
+		Faults:    cfg.faults,
+		Retries:   cfg.retries,
+		MinPoints: cfg.minPoints,
+		Metrics:   cfg.reg,
+		Tracer:    cfg.tracer,
+	})
+	if err != nil {
+		res := &Result{}
+		if out != nil {
+			res.Report = out.Report
+		}
+		return res, err
+	}
+	res := &Result{Campaign: out.Campaign, Report: out.Report, CacheHit: out.CacheHit}
+	if !cfg.model {
+		return res, nil
+	}
+	fits, _, err := workload.FitAllObserved([]*Campaign{out.Campaign}, cfg.modelOpts, 0, NewFitCache(), cfg.reg)
+	if err != nil {
+		return res, err
+	}
+	res.Requirements = fits[0]
+	return res, nil
+}
+
+// RunAll measures and models every case-study application (PaperAppNames
+// order) through one shared worker pool and one fit cache, returning the
+// per-app results plus the Figure 3 error classes. A fault plan given via
+// WithFaults is re-seeded per app (derived from the app name), matching
+// the deprecated MeasureAndModelAllResilient behavior, so apps fail
+// independently but deterministically. On error the partial results (with
+// their campaign reports) come back alongside it.
+func RunAll(ctx context.Context, opts ...Option) ([]*Result, []ErrorClass, error) {
+	cfg := newRunConfig(opts)
+	all := apps.All()
+	sched, err := campaign.New(campaign.Options{Dir: cfg.cacheDir})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sched.Close()
+	reqs := make([]campaign.Request, len(all))
+	for i, a := range all {
+		reqs[i] = campaign.Request{
+			App:       a,
+			Grid:      defaultGridFor(a.Name()),
+			Faults:    cfg.faults.Derive(appSalt(a.Name())),
+			Retries:   cfg.retries,
+			MinPoints: cfg.minPoints,
+			Metrics:   cfg.reg,
+			Tracer:    cfg.tracer,
+		}
+	}
+	outs, errs := sched.RunBatch(ctx, reqs)
+	results := make([]*Result, len(all))
+	campaigns := make([]*Campaign, len(all))
+	for i, out := range outs {
+		results[i] = &Result{}
+		if out != nil {
+			results[i].Campaign = out.Campaign
+			results[i].Report = out.Report
+			results[i].CacheHit = out.CacheHit
+		}
+		campaigns[i] = results[i].Campaign
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, nil, err
+		}
+	}
+	if !cfg.model {
+		return results, nil, nil
+	}
+	fits, classes, err := workload.FitAllObserved(campaigns, cfg.modelOpts, 0, NewFitCache(), cfg.reg)
+	if err != nil {
+		return results, nil, err
+	}
+	for i, f := range fits {
+		results[i].Requirements = f
+	}
+	return results, classes, nil
+}
+
+// defaultGridFor resolves an app's default measurement grid. A variable so
+// tests can substitute small grids when exercising the RunAll pipeline
+// end to end (the paper-scale default grids are too costly under -race).
+var defaultGridFor = workload.DefaultGrid
+
+// isZeroGrid reports whether the caller left Spec.Grid entirely unset (as
+// opposed to set but invalid, which Grid.Validate rejects with a pointed
+// error).
+func isZeroGrid(g Grid) bool {
+	return len(g.Procs) == 0 && len(g.Ns) == 0 && g.Seed == 0 && g.Repeats == 0
+}

@@ -32,4 +32,10 @@ go build ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
+# Bench smoke: one iteration of every Measure* benchmark, so a change that
+# breaks the hot-path or cache benches fails the gate without paying for a
+# full benchmark run.
+echo "== bench smoke (BenchmarkMeasure*, 1 iteration) =="
+go test -run=NONE -bench=BenchmarkMeasure -benchtime=1x ./...
+
 echo "check: all clean"

@@ -1,0 +1,65 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	tests := []struct {
+		line string
+		want benchmark
+		ok   bool
+	}{
+		{
+			line: "BenchmarkFitSingleOptimized-8   \t     853\t   2928374 ns/op\t  240639 B/op\t    1809 allocs/op",
+			want: benchmark{Name: "BenchmarkFitSingleOptimized", Iterations: 853, NsPerOp: 2928374, BytesPerOp: 240639, AllocsPerOp: 1809},
+			ok:   true,
+		},
+		{
+			// Custom b.ReportMetric units between ns/op and B/op must not
+			// shift the standard measurements.
+			line: "BenchmarkFitPipelineSerial   \t       6\t  57837351 ns/op\t       432.2 fits/sec\t         1.000 workers\t 8421533 B/op\t   66528 allocs/op",
+			want: benchmark{Name: "BenchmarkFitPipelineSerial", Iterations: 6, NsPerOp: 57837351, BytesPerOp: 8421533, AllocsPerOp: 66528},
+			ok:   true,
+		},
+		{line: "PASS", ok: false},
+		{line: "ok  \textrareq/internal/modeling\t11.855s", ok: false},
+		{line: "pkg: extrareq/internal/modeling", ok: false},
+		{line: "BenchmarkBroken  notanumber  12 ns/op", ok: false},
+	}
+	for _, tc := range tests {
+		got, ok := parseBenchLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("parseBenchLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if ok && got != tc.want {
+			t.Errorf("parseBenchLine(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+	}
+}
+
+func TestDeriveRatios(t *testing.T) {
+	benches := []benchmark{
+		{Name: "BenchmarkFitSingleOptimized", NsPerOp: 3e6, AllocsPerOp: 1800},
+		{Name: "BenchmarkFitSingleReference", NsPerOp: 15e6, AllocsPerOp: 134000},
+		{Name: "BenchmarkMeasureCampaignWarmCache", NsPerOp: 1.5e5},
+		{Name: "BenchmarkMeasureCampaignColdCache", NsPerOp: 2.1e6},
+		{Name: "BenchmarkUnpaired", NsPerOp: 1},
+	}
+	got := deriveRatios(benches)
+	byName := map[string]derived{}
+	for _, d := range got {
+		byName[d.Name] = d
+	}
+	if d, ok := byName["FitSingle_speedup"]; !ok || d.Value != 5 {
+		t.Errorf("FitSingle_speedup = %+v, want value 5", d)
+	}
+	if d, ok := byName["FitSingle_alloc_reduction"]; !ok || d.Value != 74.44 {
+		t.Errorf("FitSingle_alloc_reduction = %+v, want value 74.44", d)
+	}
+	if d, ok := byName["MeasureCampaign_speedup"]; !ok || d.Value != 14 {
+		t.Errorf("MeasureCampaign_speedup = %+v, want value 14", d)
+	}
+	if _, ok := byName["Unpaired_speedup"]; ok {
+		t.Error("unpaired benchmark must not produce a ratio")
+	}
+}

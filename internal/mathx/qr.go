@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrRankDeficient is returned by LeastSquares when the design matrix does
@@ -45,31 +46,163 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// Reshape resizes the matrix to rows×cols, reusing the backing slice when it
+// is large enough. Contents after a Reshape are unspecified; callers must
+// overwrite every entry. It is the Matrix analogue of the simmpi buffer
+// freelist: scratch grows to the largest shape ever needed and is then
+// reused without further allocation.
+func (m *Matrix) Reshape(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mathx: invalid matrix shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+}
+
+// QRSolver is a reusable workspace for Householder-QR least-squares solves.
+// All scratch (the triangularized copy of A, the transformed right-hand
+// side, the reflection vector, the column scales, and the solution) is
+// grow-only and reused across Solve calls, so repeated solves of
+// similarly-sized systems — the leave-one-out fold loop of the model
+// search — allocate nothing.
+//
+// A QRSolver is not safe for concurrent use; share one per goroutine (or
+// use GetQRSolver/PutQRSolver around a batch of solves).
+type QRSolver struct {
+	r     Matrix    // triangularized working copy of A
+	y     []float64 // working copy of b
+	v     []float64 // Householder reflection vector
+	scale []float64 // per-column power-of-two equilibration factors
+	x     []float64 // solution
+}
+
+// qrPool recycles solver workspaces across fits, mirroring the simmpi
+// per-rank buffer freelist: scratch released by one fit is reused by the
+// next instead of being reallocated.
+var qrPool = sync.Pool{New: func() any { return new(QRSolver) }}
+
+// GetQRSolver returns a pooled solver workspace.
+func GetQRSolver() *QRSolver { return qrPool.Get().(*QRSolver) }
+
+// PutQRSolver returns a solver to the pool. The caller must not use the
+// solver (or any slice returned by its Solve) afterwards.
+func PutQRSolver(s *QRSolver) { qrPool.Put(s) }
+
 // LeastSquares solves min_x ||A x - b||_2 for an overdetermined system using
 // Householder QR factorization with column-norm based rank detection.
 // A has shape m×k with m >= k; b has length m. The returned slice has
 // length k. A and b are not modified.
 func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	var s QRSolver
+	x, err := s.Solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), x...), nil
+}
+
+// Solve is LeastSquares into the solver's reusable scratch. The returned
+// slice aliases solver-owned memory and is valid only until the next Solve;
+// callers that keep the solution must copy it. A and b are not modified.
+//
+// Columns are equilibrated to unit max-norm before factorization so that
+// the rank tolerance is applied per column rather than against the globally
+// largest entry: a design matrix mixing x^3 columns (huge at large x) with
+// log2(x) columns (small) must not misclassify the valid small column as
+// rank deficient. The equilibration scales are exact powers of two, so for
+// systems that were well conditioned anyway the solution is bit-identical
+// to the unscaled algorithm (every intermediate differs only in its
+// exponent), which keeps the optimized and reference fitting paths pinned
+// to each other.
+func (s *QRSolver) Solve(a *Matrix, b []float64) ([]float64, error) {
 	m, k := a.Rows, a.Cols
-	if len(b) != m {
-		return nil, fmt.Errorf("mathx: rhs length %d does not match %d rows", len(b), m)
+	if err := checkShape(m, k, len(b)); err != nil {
+		return nil, err
+	}
+	s.r.Reshape(m, k)
+	copy(s.r.Data, a.Data)
+	s.y = growFloats(s.y, m)
+	copy(s.y, b)
+	return s.solve(&s.r, s.y)
+}
+
+// SolveDestructive is Solve without the defensive copies: the factorization
+// overwrites a and the transformation overwrites b. It exists for the
+// fitting hot path, which rebuilds its design matrix and right-hand side
+// scratch before every solve anyway. Results are bit-identical to Solve.
+func (s *QRSolver) SolveDestructive(a *Matrix, b []float64) ([]float64, error) {
+	if err := checkShape(a.Rows, a.Cols, len(b)); err != nil {
+		return nil, err
+	}
+	return s.solve(a, b)
+}
+
+func checkShape(m, k, nb int) error {
+	if nb != m {
+		return fmt.Errorf("mathx: rhs length %d does not match %d rows", nb, m)
 	}
 	if m < k {
-		return nil, fmt.Errorf("mathx: underdetermined system %dx%d", m, k)
+		return fmt.Errorf("mathx: underdetermined system %dx%d", m, k)
 	}
 	if k == 0 {
-		return nil, errors.New("mathx: zero-column design matrix")
+		return errors.New("mathx: zero-column design matrix")
 	}
+	return nil
+}
 
-	r := a.Clone()
-	y := make([]float64, m)
-	copy(y, b)
+// solve factorizes r in place and transforms y in place.
+func (s *QRSolver) solve(r *Matrix, y []float64) ([]float64, error) {
+	m, k := r.Rows, r.Cols
+	rd := r.Data
+	s.scale = growFloats(s.scale, k)
+	scale := s.scale
 
-	// Scale tolerance to the magnitude of the matrix.
+	// Equilibrate: scale every column by the power of two that brings its
+	// max-abs entry into [0.5, 1). Multiplying by a power of two is exact.
+	// The max-abs entry of the equilibrated matrix (for the rank tolerance)
+	// falls out of the same pass: it is the max of the scaled column
+	// maxima. The common case computes 2^-exp by assembling the float's
+	// bits directly; subnormal or near-overflow maxima take the exact
+	// math.Frexp/Ldexp route instead.
 	maxAbs := 0.0
-	for _, v := range r.Data {
-		if av := math.Abs(v); av > maxAbs {
-			maxAbs = av
+	for j := 0; j < k; j++ {
+		colMax := 0.0
+		for i := 0; i < m; i++ {
+			if av := math.Abs(rd[i*k+j]); av > colMax {
+				colMax = av
+			}
+		}
+		scale[j] = 1
+		if colMax == 0 {
+			continue
+		}
+		if math.IsInf(colMax, 0) {
+			maxAbs = colMax
+			continue
+		}
+		e := int(math.Float64bits(colMax) >> 52 & 0x7ff)
+		var sj float64
+		switch {
+		case e == 1022: // already in [0.5, 1)
+			if colMax > maxAbs {
+				maxAbs = colMax
+			}
+			continue
+		case e >= 1 && e <= 2044:
+			sj = math.Float64frombits(uint64(2045-e) << 52) // 2^(1022-e)
+		default:
+			_, exp := math.Frexp(colMax)
+			sj = math.Ldexp(1, -exp)
+		}
+		scale[j] = sj
+		if sm := colMax * sj; sm > maxAbs {
+			maxAbs = sm
+		}
+		for i := 0; i < m; i++ {
+			rd[i*k+j] *= sj
 		}
 	}
 	if maxAbs == 0 {
@@ -77,22 +210,29 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 	}
 	tol := 1e-12 * maxAbs * float64(m)
 
+	s.v = growFloats(s.v, m)
 	for j := 0; j < k; j++ {
-		// Householder reflection to zero column j below the diagonal.
-		norm := 0.0
+		// Householder reflection to zero column j below the diagonal. The
+		// column norm is a plain sum of squares: after equilibration every
+		// column of A has max-abs in [0.5, 1), and Householder reflections
+		// preserve column norms, so entries stay O(sqrt(m)) and the squares
+		// cannot overflow — no need for math.Hypot's rescaling.
+		norm2 := 0.0
 		for i := j; i < m; i++ {
-			norm = math.Hypot(norm, r.At(i, j))
+			e := rd[i*k+j]
+			norm2 += e * e
 		}
+		norm := math.Sqrt(norm2)
 		if norm <= tol {
 			return nil, ErrRankDeficient
 		}
-		if r.At(j, j) > 0 {
+		if rd[j*k+j] > 0 {
 			norm = -norm
 		}
-		// v = x - norm*e1, stored in-place in column j temporarily.
-		v := make([]float64, m-j)
+		// v = x - norm*e1.
+		v := s.v[:m-j]
 		for i := j; i < m; i++ {
-			v[i-j] = r.At(i, j)
+			v[i-j] = rd[i*k+j]
 		}
 		v[0] -= norm
 		vnorm2 := 0.0
@@ -106,11 +246,11 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 		for c := j; c < k; c++ {
 			dot := 0.0
 			for i := j; i < m; i++ {
-				dot += v[i-j] * r.At(i, c)
+				dot += v[i-j] * rd[i*k+c]
 			}
 			f := 2 * dot / vnorm2
 			for i := j; i < m; i++ {
-				r.Set(i, c, r.At(i, c)-f*v[i-j])
+				rd[i*k+c] -= f * v[i-j]
 			}
 		}
 		dot := 0.0
@@ -123,20 +263,31 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 		}
 	}
 
-	// Back substitution on the upper-triangular k×k block.
-	x := make([]float64, k)
+	// Back substitution on the upper-triangular k×k block, unscaling each
+	// solution component by its column's equilibration factor.
+	s.x = growFloats(s.x, k)
+	x := s.x
 	for j := k - 1; j >= 0; j-- {
-		s := y[j]
+		sum := y[j]
 		for c := j + 1; c < k; c++ {
-			s -= r.At(j, c) * x[c]
+			sum -= rd[j*k+c] * (x[c] / scale[c])
 		}
-		d := r.At(j, j)
+		d := rd[j*k+j]
 		if math.Abs(d) <= tol {
 			return nil, ErrRankDeficient
 		}
-		x[j] = s / d
+		x[j] = (sum / d) * scale[j]
 	}
 	return x, nil
+}
+
+// growFloats returns a slice of length n, reusing buf's storage when large
+// enough. Contents are unspecified.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // Residuals returns b - A x.

@@ -112,6 +112,155 @@ func TestLeastSquaresRecoversPolynomial(t *testing.T) {
 	}
 }
 
+// Regression: a design matrix mixing huge polynomial columns with small
+// logarithmic columns must not misclassify the valid small column as rank
+// deficient. Before column equilibration the rank tolerance scaled with the
+// global max |entry| (~1e15 here), drowning the log2 column (~17) and
+// returning ErrRankDeficient for a perfectly well-posed system.
+func TestLeastSquaresMixedScaleColumns(t *testing.T) {
+	xs := []float64{1e4, 2e4, 4e4, 8e4, 1.6e5, 3.2e5, 6.4e5, 1e6}
+	a := NewMatrix(len(xs), 3)
+	b := make([]float64, len(xs))
+	want := []float64{2, 3e-3, 7}
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x*x*x)        // up to ~1e18
+		a.Set(i, 2, math.Log2(x)) // ~13..20
+		b[i] = want[0] + want[1]*a.At(i, 1) + want[2]*a.At(i, 2)
+	}
+	coef, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("mixed-scale system misclassified as rank deficient: %v", err)
+	}
+	// The x^3 column spans ~18 decades over the intercept, so double
+	// precision limits how well the small coefficients can be recovered;
+	// 1% is ample to distinguish "solved" from the old ErrRankDeficient.
+	for j, w := range want {
+		if math.Abs(coef[j]-w) > 1e-2*(1+math.Abs(w)) {
+			t.Errorf("coef[%d] = %g, want %g", j, coef[j], w)
+		}
+	}
+	// A genuinely dependent column must still be rejected.
+	for i := range xs {
+		a.Set(i, 2, 2*a.At(i, 1))
+	}
+	if _, err := LeastSquares(a, b); err == nil {
+		t.Fatal("expected rank-deficiency error for dependent columns")
+	}
+}
+
+// Equilibration scales are exact powers of two, so a system whose columns
+// are already well scaled must solve bit-identically whether or not its
+// columns get rescaled; cross-check by scaling the columns by powers of two
+// manually and unscaling the solution.
+func TestLeastSquaresPowerOfTwoScalingBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 6 + rng.Intn(6)
+		a := NewMatrix(n, 3)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x := float64(i + 2)
+			a.Set(i, 0, 1)
+			a.Set(i, 1, x)
+			a.Set(i, 2, math.Sqrt(x))
+			b[i] = rng.Float64()*100 - 50
+		}
+		base, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scaled := a.Clone()
+		shifts := []int{rng.Intn(40) - 20, rng.Intn(40) - 20, rng.Intn(40) - 20}
+		for j, sh := range shifts {
+			for i := 0; i < n; i++ {
+				scaled.Set(i, j, math.Ldexp(scaled.At(i, j), sh))
+			}
+		}
+		got, err := LeastSquares(scaled, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range base {
+			want := math.Ldexp(base[j], -shifts[j])
+			if math.Float64bits(got[j]) != math.Float64bits(want) {
+				t.Fatalf("trial %d coef[%d]: %x != %x (%g vs %g)",
+					trial, j, math.Float64bits(got[j]), math.Float64bits(want), got[j], want)
+			}
+		}
+	}
+}
+
+// A QRSolver reused across solves of different shapes must match the
+// one-shot LeastSquares bit-for-bit and must not allocate after warm-up.
+func TestQRSolverReuseMatchesLeastSquares(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := GetQRSolver()
+	defer PutQRSolver(s)
+	for trial := 0; trial < 30; trial++ {
+		rows := 5 + rng.Intn(8)
+		cols := 1 + rng.Intn(3)
+		a := NewMatrix(rows, cols)
+		b := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				a.Set(i, j, math.Pow(float64(i+1), float64(j))*(1+rng.Float64()))
+			}
+			b[i] = rng.NormFloat64() * 10
+		}
+		want, werr := LeastSquares(a, b)
+		got, gerr := s.Solve(a, b)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, werr, gerr)
+		}
+		if werr != nil {
+			continue
+		}
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("trial %d coef[%d]: solver %g != LeastSquares %g", trial, j, got[j], want[j])
+			}
+		}
+	}
+	// After warm-up at a fixed shape the solver must be allocation-free.
+	a := NewMatrix(10, 3)
+	b := make([]float64, 10)
+	for i := 0; i < 10; i++ {
+		x := float64(i + 1)
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		a.Set(i, 2, x*x)
+		b[i] = 3 + x
+	}
+	if _, err := s.Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.Solve(a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm QRSolver.Solve allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestMatrixReshapeReusesStorage(t *testing.T) {
+	m := NewMatrix(8, 4)
+	data := &m.Data[0]
+	m.Reshape(4, 2)
+	if m.Rows != 4 || m.Cols != 2 || len(m.Data) != 8 {
+		t.Fatalf("Reshape(4,2) gave %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if &m.Data[0] != data {
+		t.Error("shrinking Reshape reallocated storage")
+	}
+	m.Reshape(10, 10)
+	if len(m.Data) != 100 {
+		t.Fatalf("growing Reshape gave len %d", len(m.Data))
+	}
+}
+
 func TestResiduals(t *testing.T) {
 	a := NewMatrix(3, 2)
 	for i := 0; i < 3; i++ {

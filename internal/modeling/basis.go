@@ -1,0 +1,49 @@
+package modeling
+
+import "extrareq/internal/pmnf"
+
+// The hypothesis search evaluates the same small set of basis functions —
+// x^i·log2^j(x) per exponent pair, plus the collective specials — at the
+// same measurement coordinates over and over: once per candidate term, per
+// beam entry, per round, per leave-one-out fold. Every one of those
+// evaluations is a math.Pow/math.Log2 call. A basisCache computes each
+// factor's evaluation column exactly once per point series and shares it
+// across every hypothesis that references the factor; design matrices and
+// fold predictions are then assembled from the cached columns with plain
+// multiplications.
+
+// basisKey identifies one cached column: which parameter's coordinate the
+// factor is applied to, and the factor's value identity.
+type basisKey struct {
+	param int
+	id    pmnf.FactorID
+}
+
+// basisCache memoizes factor evaluation columns for one point series. It is
+// not safe for concurrent use; each fit owns one (fits parallelize across
+// series, never within one).
+type basisCache struct {
+	pts  []point
+	cols map[basisKey][]float64
+}
+
+func newBasisCache(pts []point) *basisCache {
+	return &basisCache{pts: pts, cols: make(map[basisKey][]float64)}
+}
+
+// column returns the factor's evaluation column over the series' coordinate
+// for parameter param, computing it on first use. Factor.Eval is a pure
+// function of its input, so the cached value is bit-identical to an inline
+// evaluation. The returned slice is shared: callers must not modify it.
+func (c *basisCache) column(param int, f pmnf.Factor) []float64 {
+	k := basisKey{param: param, id: f.ID()}
+	if col, ok := c.cols[k]; ok {
+		return col
+	}
+	col := make([]float64, len(c.pts))
+	for i, pt := range c.pts {
+		col[i] = f.Eval(pt.x[param])
+	}
+	c.cols[k] = col
+	return col
+}

@@ -1,0 +1,88 @@
+package modeling
+
+import (
+	"math"
+	"testing"
+
+	"extrareq/internal/pmnf"
+)
+
+// relativeSpread must be computed on the raw values. Taking |y| first made
+// sign-varying data like {-5, 5} look like a zero-spread constant series,
+// short-circuiting the search to a (wrong) constant model.
+func TestRelativeSpreadSignVarying(t *testing.T) {
+	pts := []point{
+		{x: []float64{1}, y: -5},
+		{x: []float64{2}, y: 5},
+	}
+	if got := relativeSpread(pts); !(got > 1.9 && got <= 2.0) {
+		t.Errorf("relativeSpread({-5,5}) = %g, want (max-min)/max|y| = 2", got)
+	}
+	// All-negative data still spreads.
+	pts = []point{
+		{x: []float64{1}, y: -10},
+		{x: []float64{2}, y: -5},
+	}
+	if got := relativeSpread(pts); !(got > 0.49 && got < 0.51) {
+		t.Errorf("relativeSpread({-10,-5}) = %g, want 0.5", got)
+	}
+	// Constant data has zero spread regardless of sign.
+	pts = []point{
+		{x: []float64{1}, y: -7},
+		{x: []float64{2}, y: -7},
+	}
+	if got := relativeSpread(pts); got != 0 {
+		t.Errorf("relativeSpread({-7,-7}) = %g, want 0", got)
+	}
+}
+
+// A hypothesis that only fits some of its leave-one-out folds must not be
+// scored on those folds alone: each failed fold is charged the worst-case
+// SMAPE (200). The series below decreases except for one huge final point,
+// so fitting c0 + c1·x succeeds (positive slope) on every fold that keeps
+// the final point and fails with a negative coefficient on the fold that
+// holds it out.
+func TestCVScorePenalizesFailedFolds(t *testing.T) {
+	ys := []float64{10, 9, 8, 7, 1000}
+	pts := make([]point, len(ys))
+	for i, y := range ys {
+		pts[i] = point{x: []float64{float64(i + 1)}, y: y}
+	}
+	opts := DefaultOptions()
+	h := hypothesis{factors: [][]pmnf.Factor{{{Poly: 1}}}}
+
+	s := newSearcher([]string{"x"}, pts, opts)
+	defer s.release()
+	raw, failed, err := s.cvScoreFast(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Fatalf("cvScoreFast failed folds = %d, want 1", failed)
+	}
+	score, failed, err := s.cvScore(h)
+	if err != nil || failed != 1 {
+		t.Fatalf("cvScore = (%v, %d, %v), want 1 failed fold", score, failed, err)
+	}
+	want := (raw*4 + 200*1) / 5
+	if score != want {
+		t.Errorf("penalized score = %g, want (raw·4 + 200)/5 = %g (raw %g)", score, want, raw)
+	}
+	if score <= raw {
+		t.Errorf("penalized score %g not worse than optimistic score %g", score, raw)
+	}
+
+	// The reference path applies the identical penalty arithmetic.
+	refOpts := *opts
+	refOpts.reference = true
+	sr := newSearcher([]string{"x"}, pts, &refOpts)
+	defer sr.release()
+	refScore, refFailed, err := sr.cvScore(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refFailed != failed || math.Float64bits(refScore) != math.Float64bits(score) {
+		t.Errorf("reference cvScore = (%v, %d), optimized = (%v, %d); want bit-identical",
+			refScore, refFailed, score, failed)
+	}
+}

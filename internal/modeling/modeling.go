@@ -54,6 +54,12 @@ type Options struct {
 	// (the paper's rule of thumb is 5). Fits with fewer points return
 	// ErrTooFewPoints unless MinPoints is lowered explicitly.
 	MinPoints int
+	// reference forces the slow reference fitting path: per-fold hypothesis
+	// refits that rebuild design matrices and re-evaluate basis functions
+	// from scratch. The optimized path (shared basis columns, pooled QR
+	// scratch) is pinned byte-identical to it by
+	// TestOptimizedFitMatchesReference; only tests and benchmarks set this.
+	reference bool
 }
 
 // DefaultOptions returns the options used throughout the paper's evaluation.
@@ -134,17 +140,8 @@ func fitHypothesis(params []string, h hypothesis, pts []point, allowNegative boo
 	if err != nil {
 		return nil, err
 	}
-	for _, c := range coef {
-		if math.IsNaN(c) || math.IsInf(c, 0) {
-			return nil, errors.New("modeling: non-finite coefficient")
-		}
-	}
-	if !allowNegative {
-		for k := 1; k < len(coef); k++ {
-			if coef[k] < 0 {
-				return nil, errors.New("modeling: negative term coefficient")
-			}
-		}
+	if err := checkCoef(coef, allowNegative); err != nil {
+		return nil, err
 	}
 	m := &pmnf.Model{Params: append([]string(nil), params...), Constant: coef[0]}
 	for k, term := range h.factors {
@@ -172,8 +169,13 @@ func aggregate(ms []Measurement, agg func(Measurement) float64) []point {
 	return pts
 }
 
-// cvScore computes the leave-one-out SMAPE of a hypothesis shape over pts.
-func cvScore(params []string, h hypothesis, pts []point, allowNegative bool) (float64, error) {
+// cvScoreReference computes the leave-one-out SMAPE of a hypothesis shape
+// over pts by refitting the hypothesis per fold from scratch: fresh design
+// matrices, fresh basis-function evaluations, fresh scratch per fold. It is
+// the slow reference implementation the optimized searcher.cvScoreFast is
+// pinned byte-identical to, and reports the number of folds whose fit
+// failed alongside the score of the surviving folds.
+func cvScoreReference(params []string, h hypothesis, pts []point, allowNegative bool) (float64, int, error) {
 	samples := make([]stats.Sample, len(pts))
 	for i, pt := range pts {
 		samples[i] = stats.Sample{X: pt.x, Y: pt.y}
@@ -189,7 +191,7 @@ func cvScore(params []string, h hypothesis, pts []point, allowNegative bool) (fl
 		}
 		return func(x []float64) float64 { return m.Eval(x...) }, nil
 	}
-	return stats.LeaveOneOutSMAPE(samples, fit)
+	return stats.LeaveOneOutSMAPEDetail(samples, fit)
 }
 
 // constantCV computes the leave-one-out SMAPE of the constant (mean) model.
@@ -229,20 +231,27 @@ func finishInfo(m *pmnf.Model, pts []point, cv float64) *ModelInfo {
 	}
 }
 
-// relativeSpread returns (max-min)/max of the values, 0 for empty input.
+// relativeSpread returns (max-min)/max|y| of the raw values, 0 for empty
+// input. The spread is computed on raw values, not absolute values: taking
+// |y| first would fold sign-varying data like {-5, 5} onto one magnitude,
+// report spread 0, and short-circuit the search to the constant model even
+// though the data varies maximally. Sign-varying series occur with
+// AllowNegative fits and with fault-perturbed counters. For all-nonnegative
+// data the result is unchanged (max|y| is then the max itself).
 func relativeSpread(pts []point) float64 {
 	if len(pts) == 0 {
 		return 0
 	}
 	ys := make([]float64, len(pts))
 	for i, p := range pts {
-		ys[i] = math.Abs(p.y)
+		ys[i] = p.y
 	}
 	lo, hi := mathx.MinMax(ys)
-	if hi == 0 {
+	denom := math.Max(math.Abs(lo), math.Abs(hi))
+	if denom == 0 {
 		return 0
 	}
-	return (hi - lo) / hi
+	return (hi - lo) / denom
 }
 
 // distinctCoords counts distinct values of coordinate l.

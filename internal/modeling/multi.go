@@ -57,14 +57,29 @@ func FitMultiAggregated(params []string, ms []Measurement, agg func(Measurement)
 		line := baselineLine(pts, l)
 		lineOpts := *opts
 		lineOpts.MinPoints = min(opts.MinPoints, distinctCoords(line, 0))
-		info, err := fitIterative([]string{params[l]}, line, singleTermCandidates(params[l], &lineOpts), &lineOpts)
+		add := func(m *pmnf.Model) {
+			for _, t := range m.Terms {
+				if t.Coeff == 0 || t.Factors[0].IsOne() {
+					continue
+				}
+				if !containsFactor(perParam[l], t.Factors[0]) {
+					perParam[l] = append(perParam[l], t.Factors[0])
+				}
+			}
+		}
+		info, roundOne, err := fitIterativeHarvest([]string{params[l]}, line, singleTermCandidates(params[l], &lineOpts), &lineOpts)
 		if err != nil {
 			return nil, fmt.Errorf("modeling: single-parameter model for %s: %w", params[l], err)
 		}
-		for _, t := range info.Model.Terms {
-			if t.Coeff != 0 && !t.Factors[0].IsOne() {
-				perParam[l] = append(perParam[l], t.Factors[0])
-			}
+		add(info.Model)
+		// The combination hypothesis space is only as good as the factor
+		// pool harvested here, and a multi-term winner on a short noisy
+		// baseline can be an artifact of that line's noise. Harvest the best
+		// single-term shape as well — the factor that explains the line on
+		// its own (the round-one Occam winner of the same search) — and let
+		// the full-grid cross-validation in step 3 arbitrate between shapes.
+		if roundOne != nil {
+			add(roundOne)
 		}
 	}
 
@@ -75,28 +90,27 @@ func FitMultiAggregated(params []string, ms []Measurement, agg func(Measurement)
 		return finishInfo(m, pts, constantCV(pts)), nil
 	}
 
-	// Step 3: evaluate every hypothesis and Occam-select the winner.
+	// Step 3: evaluate every hypothesis and Occam-select the winner. One
+	// searcher serves the whole candidate sweep: every hypothesis reuses
+	// the same cached basis columns and pooled QR scratch.
+	s := newSearcher(params, pts, opts)
+	defer s.release()
 	var cands []scoredHypothesis
 	for _, h := range hyps {
 		if len(pts) <= len(h.factors)+1 {
 			continue
 		}
-		score, err := cvScore(params, h, pts, opts.AllowNegative)
+		score, _, err := s.cvScore(h)
 		if err != nil || math.IsNaN(score) {
 			continue
 		}
-		m, err := fitHypothesis(params, h, pts, opts.AllowNegative)
-		if err != nil {
-			continue
-		}
-		cands = append(cands, scoredHypothesis{h: h, score: score, model: m})
+		cands = append(cands, scoredHypothesis{h: h, score: score})
 	}
-	wi := occamSelect(cands, opts.Improvement)
-	if wi < 0 {
+	best, _, ok := s.selectAndFit(cands, opts.Improvement)
+	if !ok {
 		m := pmnf.NewConstant(meanY(pts), params...)
 		return finishInfo(m, pts, constantCV(pts)), nil
 	}
-	best := cands[wi]
 	// A constant model still wins if no hypothesis significantly beats it,
 	// or if the constant already explains the grid to within the noise
 	// floor.
@@ -180,8 +194,26 @@ func combinationHypotheses(nParams int, perParam [][]pmnf.Factor) []hypothesis {
 	}
 
 	if len(contributing) == 1 {
-		// Only one parameter varies: the additive model is the only shape.
-		return []hypothesis{{factors: singles}}
+		// Only one parameter varies: the candidates are the additive
+		// combinations of its factors. Every nonempty subset is offered
+		// (the pool holds at most a few factors), not just the full sum —
+		// harvested factors can be collinear or demand a negative
+		// coefficient jointly, and the full sum alone would then leave no
+		// viable hypothesis at all.
+		if len(singles) > 8 {
+			return []hypothesis{{factors: singles}} // keep 2^k enumerable
+		}
+		var hyps []hypothesis
+		for mask := 1; mask < 1<<len(singles); mask++ {
+			var sel [][]pmnf.Factor
+			for i := range singles {
+				if mask&(1<<i) != 0 {
+					sel = append(sel, singles[i])
+				}
+			}
+			hyps = append(hyps, hypothesis{factors: sel})
+		}
+		return hyps
 	}
 
 	// Products: cross product choosing one factor from each contributing
@@ -250,6 +282,15 @@ func dedupeHypotheses(hyps []hypothesis) []hypothesis {
 		}
 	}
 	return out
+}
+
+func containsFactor(fs []pmnf.Factor, f pmnf.Factor) bool {
+	for _, g := range fs {
+		if g == f {
+			return true
+		}
+	}
+	return false
 }
 
 func neutralTerm(nParams int) []pmnf.Factor {

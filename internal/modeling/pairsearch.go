@@ -1,8 +1,9 @@
 package modeling
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"extrareq/internal/mathx"
 	"extrareq/internal/pmnf"
@@ -22,24 +23,40 @@ const pairPrescreen = 32
 
 // exhaustivePairSearch evaluates every unordered pair of candidate terms
 // jointly. It returns the fitted model and its CV score, or ok=false when no
-// valid pair was found.
-func exhaustivePairSearch(params []string, pts []point, candidates [][]pmnf.Factor, opts *Options) (*pmnf.Model, float64, bool) {
+// valid pair was found. The prescreen stage assembles every candidate's
+// basis column from the searcher's cache and solves in its pooled QR
+// workspace; the surviving pairs are re-scored through the searcher's
+// cvScore, so the prescreen ranking and the final selection are identical
+// on the reference and optimized paths.
+func exhaustivePairSearch(s *searcher, candidates [][]pmnf.Factor) (*pmnf.Model, float64, bool) {
+	pts, opts := s.pts, s.opts
 	n := len(pts)
-	if n < 4 { // need rows >= cols (3) in every LOO fold
+	// A pair hypothesis fits 3 coefficients on (n-1)-row leave-one-out
+	// folds. Requiring n >= 6 keeps at least 2 residual degrees of freedom
+	// per fold; below that the cross-validation score of a joint two-term
+	// fit measures noise, not shape (the same under-determination the
+	// failed-fold penalty guards against).
+	if n < 6 {
 		return nil, 0, false
 	}
-	// Cache the basis column of every candidate over all points.
+	// The basis column of every candidate over all points. The optimized
+	// path reads the shared factor-column cache; the reference path
+	// re-evaluates the factors directly, as the pre-optimization code did.
 	cols := make([][]float64, len(candidates))
 	for c, cand := range candidates {
-		col := make([]float64, n)
-		for i, pt := range pts {
-			v := 1.0
-			for l, f := range cand {
-				v *= f.Eval(pt.x[l])
+		if opts.reference {
+			col := make([]float64, n)
+			for i, pt := range pts {
+				v := 1.0
+				for l, f := range cand {
+					v *= f.Eval(pt.x[l])
+				}
+				col[i] = v
 			}
-			col[i] = v
+			cols[c] = col
+		} else {
+			cols[c] = s.productColumn(nil, cand)
 		}
-		cols[c] = col
 	}
 	obs := make([]float64, n)
 	for i, pt := range pts {
@@ -52,6 +69,7 @@ func exhaustivePairSearch(params []string, pts []point, candidates [][]pmnf.Fact
 	}
 	var best []pair
 	a := mathx.NewMatrix(n, 3)
+	pred := make([]float64, n)
 	for i := 0; i < len(candidates); i++ {
 		for j := i + 1; j < len(candidates); j++ {
 			for r := 0; r < n; r++ {
@@ -59,28 +77,37 @@ func exhaustivePairSearch(params []string, pts []point, candidates [][]pmnf.Fact
 				a.Set(r, 1, cols[i][r])
 				a.Set(r, 2, cols[j][r])
 			}
-			coef, err := mathx.LeastSquares(a, obs)
+			var coef []float64
+			var err error
+			if opts.reference {
+				// The reference prescreen pays the pre-optimization cost: a
+				// fresh QR workspace (and result copy) per pair.
+				coef, err = mathx.LeastSquares(a, obs)
+			} else {
+				// obs is shared across pairs and must survive the solve,
+				// so the non-destructive variant is the right one here.
+				coef, err = s.solver.Solve(a, obs)
+			}
 			if err != nil {
 				continue
 			}
 			if !opts.AllowNegative && (coef[1] < 0 || coef[2] < 0) {
 				continue
 			}
-			pred := make([]float64, n)
 			for r := 0; r < n; r++ {
 				pred[r] = coef[0] + coef[1]*cols[i][r] + coef[2]*cols[j][r]
 			}
-			s := stats.SMAPE(pred, obs)
-			if math.IsNaN(s) {
+			sm := stats.SMAPE(pred, obs)
+			if math.IsNaN(sm) {
 				continue
 			}
-			best = append(best, pair{i, j, s})
+			best = append(best, pair{i, j, sm})
 		}
 	}
 	if len(best) == 0 {
 		return nil, 0, false
 	}
-	sort.Slice(best, func(x, y int) bool { return best[x].smape < best[y].smape })
+	slices.SortFunc(best, func(x, y pair) int { return cmp.Compare(x.smape, y.smape) })
 	if len(best) > pairPrescreen {
 		best = best[:pairPrescreen]
 	}
@@ -88,19 +115,15 @@ func exhaustivePairSearch(params []string, pts []point, candidates [][]pmnf.Fact
 	var cands []scoredHypothesis
 	for _, pr := range best {
 		h := hypothesis{factors: [][]pmnf.Factor{candidates[pr.i], candidates[pr.j]}}
-		score, err := cvScore(params, h, pts, opts.AllowNegative)
+		score, _, err := s.cvScore(h)
 		if err != nil || math.IsNaN(score) {
 			continue
 		}
-		m, err := fitHypothesis(params, h, pts, opts.AllowNegative)
-		if err != nil {
-			continue
-		}
-		cands = append(cands, scoredHypothesis{h: h, score: score, model: m})
+		cands = append(cands, scoredHypothesis{h: h, score: score})
 	}
-	wi := occamSelect(cands, opts.Improvement)
-	if wi < 0 {
+	w, _, ok := s.selectAndFit(cands, opts.Improvement)
+	if !ok {
 		return nil, 0, false
 	}
-	return cands[wi].model, cands[wi].score, true
+	return w.model, w.score, true
 }

@@ -310,6 +310,13 @@ func fingerprint(t FitTask) [sha256.Size]byte {
 	}
 	f64(opts.NoiseFloor)
 	u64(uint64(opts.MinPoints))
+	// The reference-path flag is fingerprinted so equivalence tests that
+	// fit the same series through both paths never share a cache entry.
+	if opts.reference {
+		u64(1)
+	} else {
+		u64(0)
+	}
 
 	var fp [sha256.Size]byte
 	h.Sum(fp[:0])

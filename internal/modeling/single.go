@@ -1,9 +1,10 @@
 package modeling
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"extrareq/internal/pmnf"
 )
@@ -58,11 +59,21 @@ const beamWidth = 8
 //
 // candidates is the set of term shapes (one factor per model parameter).
 func fitIterative(params []string, pts []point, candidates [][]pmnf.Factor, opts *Options) (*ModelInfo, error) {
+	info, _, err := fitIterativeHarvest(params, pts, candidates, opts)
+	return info, err
+}
+
+// fitIterativeHarvest is fitIterative additionally returning the round-one
+// Occam winner — the fitted best single-term model, exactly what a separate
+// MaxTerms=1 search would return — or nil when the constant model won round
+// one. FitMulti harvests its factors for the combination hypothesis space
+// without paying for a second search.
+func fitIterativeHarvest(params []string, pts []point, candidates [][]pmnf.Factor, opts *Options) (*ModelInfo, *pmnf.Model, error) {
 	// Near-constant data short-circuits to the constant model; this mirrors
 	// Extra-P's noise guard and avoids fitting growth to jitter.
 	if relativeSpread(pts) < 1e-9 {
 		m := pmnf.NewConstant(meanY(pts), params...)
-		return finishInfo(m, pts, 0), nil
+		return finishInfo(m, pts, 0), nil, nil
 	}
 
 	bestScore := constantCV(pts)
@@ -71,9 +82,13 @@ func fitIterative(params []string, pts []point, candidates [][]pmnf.Factor, opts
 	// Noise guard: when the constant model already explains the data to
 	// within the noise floor, searching for growth would only fit jitter.
 	if bestScore < opts.NoiseFloor {
-		return finishInfo(bestModel, pts, bestScore), nil
+		return finishInfo(bestModel, pts, bestScore), nil, nil
 	}
 
+	s := newSearcher(params, pts, opts)
+	defer s.release()
+
+	var roundOne *pmnf.Model
 	beam := []scoredHypothesis{{score: bestScore, model: bestModel}}
 	for round := 0; round < opts.MaxTerms; round++ {
 		var next []scoredHypothesis
@@ -82,36 +97,41 @@ func fitIterative(params []string, pts []point, candidates [][]pmnf.Factor, opts
 				if containsTerm(e.h.factors, cand) {
 					continue
 				}
-				h := hypothesis{factors: append(append([][]pmnf.Factor{}, e.h.factors...), cand)}
-				if len(pts) <= len(h.factors)+1 {
+				if len(pts) <= len(e.h.factors)+2 {
 					continue // not enough points for LOO refits
 				}
-				score, err := cvScore(params, h, pts, opts.AllowNegative)
+				factors := make([][]pmnf.Factor, 0, len(e.h.factors)+1)
+				factors = append(factors, e.h.factors...)
+				h := hypothesis{factors: append(factors, cand)}
+				// cvScore charges failed folds the worst-case SMAPE, so
+				// shapes that only fit their easy folds cannot win on an
+				// optimistic score.
+				score, _, err := s.cvScore(h)
 				if err != nil || math.IsNaN(score) {
 					continue
 				}
-				m, err := fitHypothesis(params, h, pts, opts.AllowNegative)
-				if err != nil {
-					continue
-				}
-				next = append(next, scoredHypothesis{h: h, score: score, model: m})
+				next = append(next, scoredHypothesis{h: h, score: score})
 			}
 		}
 		if len(next) == 0 {
 			break
 		}
 		// Round winner: the simplest hypothesis among those statistically
-		// tied with the best score.
-		wi := occamSelect(next, opts.Improvement)
-		winner := next[wi]
-		if !acceptScore(winner.score, bestScore, opts.Improvement) {
+		// tied with the best score. Coefficients are fitted lazily — only
+		// the winner needs a model.
+		winner, remaining, ok := s.selectAndFit(next, opts.Improvement)
+		next = remaining
+		if !ok || !acceptScore(winner.score, bestScore, opts.Improvement) {
 			break
 		}
 		bestScore = winner.score
 		bestModel = winner.model
+		if round == 0 {
+			roundOne = winner.model
+		}
 		// The beam carries the lowest-scoring candidates into the next
 		// round (plus the Occam winner, which may rank below the cut).
-		sort.SliceStable(next, func(i, j int) bool { return next[i].score < next[j].score })
+		slices.SortStableFunc(next, func(a, b scoredHypothesis) int { return cmp.Compare(a.score, b.score) })
 		if len(next) > beamWidth {
 			next = next[:beamWidth]
 		}
@@ -126,12 +146,12 @@ func fitIterative(params []string, pts []point, candidates [][]pmnf.Factor, opts
 	// Mixed-growth data can defeat the term-by-term beam; when the result is
 	// still poor, search all candidate pairs jointly.
 	if bestScore > pairSearchThreshold && opts.MaxTerms >= 2 {
-		if m, score, ok := exhaustivePairSearch(params, pts, candidates, opts); ok &&
+		if m, score, ok := exhaustivePairSearch(s, candidates); ok &&
 			acceptScore(score, bestScore, opts.Improvement) {
 			bestModel, bestScore = m, score
 		}
 	}
-	return finishInfo(bestModel, pts, bestScore), nil
+	return finishInfo(bestModel, pts, bestScore), roundOne, nil
 }
 
 // acceptScore reports whether a new CV score is a significant improvement

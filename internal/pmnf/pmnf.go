@@ -78,6 +78,25 @@ type Factor struct {
 // One is the neutral factor x^0.
 var One = Factor{}
 
+// FactorID is a comparable identity of a Factor, suitable as a map key for
+// caches of factor evaluations. It identifies exponents by their IEEE-754
+// bit patterns, so identities behave like values even for exponents that
+// compare oddly as floats (0 vs -0 are distinct IDs, a NaN exponent equals
+// itself); two factors with the same ID evaluate bit-identically at every x.
+type FactorID struct {
+	PolyBits, LogBits uint64
+	Special           Special
+}
+
+// ID returns the factor's cache identity.
+func (f Factor) ID() FactorID {
+	return FactorID{
+		PolyBits: math.Float64bits(f.Poly),
+		LogBits:  math.Float64bits(f.Log),
+		Special:  f.Special,
+	}
+}
+
 // IsOne reports whether the factor is constant 1.
 func (f Factor) IsOne() bool { return f.Special == None && f.Poly == 0 && f.Log == 0 }
 
@@ -300,9 +319,18 @@ func (m *Model) Format(fc CoeffFormatter) string {
 }
 
 // PowerOfTenCoeff renders a coefficient as the nearest power of ten
-// ("10^5"), matching the paper's Table II presentation.
+// ("10^5"), matching the paper's Table II presentation. Non-finite
+// coefficients render as "NaN", "+Inf", or "-Inf"; rounding their
+// logarithm would produce a garbage exponent like 10^-9223372036854775808.
 func PowerOfTenCoeff(c float64) string {
-	if c == 0 {
+	switch {
+	case math.IsNaN(c):
+		return "NaN"
+	case math.IsInf(c, 1):
+		return "+Inf"
+	case math.IsInf(c, -1):
+		return "-Inf"
+	case c == 0:
 		return "0"
 	}
 	sign := ""

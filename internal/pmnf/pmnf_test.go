@@ -283,11 +283,37 @@ func TestPowerOfTenCoeff(t *testing.T) {
 		want string
 	}{
 		{1e5, "10^5"}, {3.2e4, "10^5"}, {9e3, "10^4"}, {0, "0"}, {-1e2, "-10^2"}, {1, "10^0"},
+		// Non-finite coefficients must render explicitly, not as the
+		// rounded log10 of a non-finite value (10^-9223372036854775808).
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{1e-7, "10^-7"},
 	}
 	for _, c := range cases {
 		if got := PowerOfTenCoeff(c.in); got != c.want {
 			t.Errorf("PowerOfTenCoeff(%g) = %q, want %q", c.in, got, c.want)
 		}
+	}
+}
+
+func TestFactorIDIdentity(t *testing.T) {
+	a := Factor{Poly: 1.5, Log: 1}
+	b := Factor{Poly: 1.5, Log: 1}
+	if a.ID() != b.ID() {
+		t.Error("equal factors must share an ID")
+	}
+	if a.ID() == (Factor{Poly: 1.5, Log: 1, Special: Bcast}).ID() {
+		t.Error("special must participate in the ID")
+	}
+	if (Factor{Poly: 0}).ID() == (Factor{Poly: math.Copysign(0, -1)}).ID() {
+		t.Error("0 and -0 exponents are distinct identities")
+	}
+	// NaN exponents never occur in the hypothesis space, but an ID built
+	// from one must still equal itself so cache lookups cannot miss.
+	n := Factor{Poly: math.NaN()}
+	if n.ID() != n.ID() {
+		t.Error("NaN exponent ID must equal itself")
 	}
 }
 

@@ -118,10 +118,24 @@ var ErrTooFewSamples = errors.New("stats: too few samples for requested folds")
 // with k == len(samples) this is leave-one-out. The fitter is invoked once
 // per fold; folds whose fit fails are skipped, and an error is returned only
 // if every fold fails.
+//
+// A skipped fold makes the score optimistic — the hypothesis is judged only
+// on the folds it could fit. Callers that compare hypotheses should use
+// CrossValidateSMAPEDetail and reject (or penalize) candidates with failed
+// folds.
 func CrossValidateSMAPE(samples []Sample, k int, fit Fitter) (float64, error) {
+	score, _, err := CrossValidateSMAPEDetail(samples, k, fit)
+	return score, err
+}
+
+// CrossValidateSMAPEDetail is CrossValidateSMAPE additionally reporting how
+// many folds were skipped because their fit failed. The score covers only
+// the successful folds; failed > 0 means the score is not comparable to a
+// hypothesis that fitted every fold.
+func CrossValidateSMAPEDetail(samples []Sample, k int, fit Fitter) (score float64, failed int, err error) {
 	n := len(samples)
 	if k < 2 || n < k {
-		return math.NaN(), ErrTooFewSamples
+		return math.NaN(), 0, ErrTooFewSamples
 	}
 	var preds, obs []float64
 	var lastErr error
@@ -135,6 +149,7 @@ func CrossValidateSMAPE(samples []Sample, k int, fit Fitter) (float64, error) {
 		p, err := fit(train)
 		if err != nil {
 			lastErr = err
+			failed++
 			continue
 		}
 		ok++
@@ -144,14 +159,20 @@ func CrossValidateSMAPE(samples []Sample, k int, fit Fitter) (float64, error) {
 		}
 	}
 	if ok == 0 {
-		return math.NaN(), lastErr
+		return math.NaN(), failed, lastErr
 	}
-	return SMAPE(preds, obs), nil
+	return SMAPE(preds, obs), failed, nil
 }
 
 // LeaveOneOutSMAPE is CrossValidateSMAPE with one fold per sample.
 func LeaveOneOutSMAPE(samples []Sample, fit Fitter) (float64, error) {
 	return CrossValidateSMAPE(samples, len(samples), fit)
+}
+
+// LeaveOneOutSMAPEDetail is CrossValidateSMAPEDetail with one fold per
+// sample.
+func LeaveOneOutSMAPEDetail(samples []Sample, fit Fitter) (float64, int, error) {
+	return CrossValidateSMAPEDetail(samples, len(samples), fit)
 }
 
 // ErrorClass is one bucket of the Figure 3 relative-error classification.

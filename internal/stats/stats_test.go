@@ -191,6 +191,43 @@ func TestCrossValidateSkipsFailingFolds(t *testing.T) {
 	}
 }
 
+func TestCrossValidateDetailCountsFailedFolds(t *testing.T) {
+	samples := []Sample{
+		{X: []float64{1}, Y: 1}, {X: []float64{2}, Y: 2},
+		{X: []float64{3}, Y: 3}, {X: []float64{4}, Y: 4},
+	}
+	calls := 0
+	fit := func(train []Sample) (Predictor, error) {
+		calls++
+		if calls%2 == 1 {
+			return nil, errors.New("odd folds fail")
+		}
+		return func(x []float64) float64 { return x[0] }, nil
+	}
+	score, failed, err := CrossValidateSMAPEDetail(samples, 4, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 2 {
+		t.Errorf("failed = %d, want 2", failed)
+	}
+	if score > 1e-12 {
+		t.Errorf("score = %g, want 0 from surviving folds", score)
+	}
+	// All folds failing: error plus the full failed count.
+	failing := func([]Sample) (Predictor, error) { return nil, errors.New("boom") }
+	if _, failed, err := LeaveOneOutSMAPEDetail(samples, failing); err == nil || failed != len(samples) {
+		t.Errorf("all-fail: failed=%d err=%v, want %d and non-nil", failed, err, len(samples))
+	}
+	// No failures reports zero.
+	good := func(train []Sample) (Predictor, error) {
+		return func(x []float64) float64 { return x[0] }, nil
+	}
+	if _, failed, err := LeaveOneOutSMAPEDetail(samples, good); err != nil || failed != 0 {
+		t.Errorf("no-fail: failed=%d err=%v, want 0 and nil", failed, err)
+	}
+}
+
 func TestClassifyRelativeErrors(t *testing.T) {
 	errsIn := []float64{0.01, 0.04, 0.07, 0.12, 0.18, 0.5, math.Inf(1)}
 	classes := ClassifyRelativeErrors(errsIn)

@@ -38,4 +38,24 @@ go test -race ./...
 echo "== bench smoke (BenchmarkMeasure*, 1 iteration) =="
 go test -run=NONE -bench=BenchmarkMeasure -benchtime=1x ./...
 
+# Perf trajectory: run the paired fitting benchmarks (optimized vs reference
+# cvScore path), the end-to-end fitting pipeline, and the campaign cache
+# round trip, and record them as BENCH_<pr>.json via cmd/benchjson. The file
+# is committed with each PR and uploaded as a CI artifact, so fitting
+# performance across the repo's history is comparable without re-running old
+# revisions. BENCH_PR stamps the PR number; BENCH_TIME trades gate time for
+# measurement stability.
+BENCH_PR=${BENCH_PR:-6}
+BENCH_TIME=${BENCH_TIME:-0.3s}
+echo "== perf trajectory (BENCH_${BENCH_PR}.json, benchtime ${BENCH_TIME}) =="
+{
+    go test -run=NONE -bench='BenchmarkFit(Single|Multi)(Optimized|Reference)' \
+        -benchmem -benchtime="${BENCH_TIME}" ./internal/modeling/
+    go test -run=NONE -bench='BenchmarkFitPipeline' \
+        -benchmem -benchtime="${BENCH_TIME}" .
+    go test -run=NONE -bench='BenchmarkMeasureCampaign' \
+        -benchmem -benchtime=1x ./internal/campaign/
+} | go run ./cmd/benchjson -pr "${BENCH_PR}" > "BENCH_${BENCH_PR}.json"
+echo "wrote BENCH_${BENCH_PR}.json"
+
 echo "check: all clean"

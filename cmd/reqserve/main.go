@@ -1,0 +1,116 @@
+// Command reqserve is the campaign service: an HTTP/JSON daemon wrapping
+// the shared campaign scheduler and cache so many clients — co-design
+// sweeps, CI jobs, notebooks — can share one measurement pool without
+// re-running identical campaigns.
+//
+//	reqserve -addr 127.0.0.1:8080 -cache-dir /var/cache/extrareq
+//
+// Robustness properties (implemented and unit-tested in internal/serve):
+//
+//   - Identical concurrent submissions coalesce onto a single execution;
+//     every waiter receives the same byte-identical response.
+//   - Admission control sheds over-limit work with 429/503 + Retry-After
+//     instead of queueing unboundedly; per-tenant token buckets (X-Tenant
+//     header) keep one noisy client from starving the rest.
+//   - Request deadlines flow into the simulator's cancel machinery, so
+//     abandoned clients free their workers.
+//   - SIGTERM/SIGINT triggers a graceful drain: stop admitting, finish
+//     in-flight campaigns within -drain-timeout, flush the disk cache,
+//     exit 0.
+//
+// See the README's "Running reqserve" section for the endpoint catalogue
+// and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"extrareq/internal/campaign"
+	"extrareq/internal/cli"
+	"extrareq/internal/obs"
+	"extrareq/internal/serve"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	os.Exit(run(os.Args[1:], os.Stderr, sigs))
+}
+
+// shutdownGrace bounds the HTTP listener shutdown after the drain proper
+// has finished; by then every handler has returned, so this is generous.
+const shutdownGrace = 5 * time.Second
+
+// run is main with its environment injected: flag args, the log writer,
+// and the signal source. It returns the process exit code.
+func run(args []string, errw io.Writer, sigs <-chan os.Signal) int {
+	fs := flag.NewFlagSet("reqserve", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var flags cli.ServeFlags
+	flags.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(errw, format+"\n", a...) }
+	if err := flags.Setup(errw, "reqserve"); err != nil {
+		logf("reqserve: %v", err)
+		return 1
+	}
+
+	sched, err := campaign.New(flags.SchedulerOptions(logf))
+	if err != nil {
+		logf("reqserve: scheduler: %v", err)
+		return 1
+	}
+	defer sched.Close()
+	srv, err := serve.New(flags.ServerOptions(sched, obs.NewRegistry(), logf))
+	if err != nil {
+		logf("reqserve: %v", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", flags.Addr)
+	if err != nil {
+		logf("reqserve: listen: %v", err)
+		return 1
+	}
+	// The smoke script and tests parse this line to find an ephemeral port.
+	logf("reqserve: listening on http://%s", ln.Addr())
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		logf("reqserve: received %v, draining", sig)
+	case err := <-serveErr:
+		logf("reqserve: server failed: %v", err)
+		return 1
+	}
+
+	drainErr := srv.Drain(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		logf("reqserve: http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		logf("reqserve: drain: %v", drainErr)
+		return 1
+	}
+	logf("reqserve: shutdown complete")
+	return 0
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is an io.Writer safe for the run goroutine + test goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on http://(\S+)`)
+
+// startServer runs the daemon on an ephemeral port and returns its base
+// URL, the signal channel, and the exit-code channel.
+func startServer(t *testing.T, extraArgs ...string) (string, chan os.Signal, chan int, *syncBuffer) {
+	t.Helper()
+	var logs syncBuffer
+	sigs := make(chan os.Signal, 1)
+	code := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-cache-dir", t.TempDir()}, extraArgs...)
+	go func() { code <- run(args, &logs, sigs) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenLine.FindStringSubmatch(logs.String()); m != nil {
+			return "http://" + m[1], sigs, code, &logs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never logged its address; logs:\n%s", logs.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// End-to-end through the real binary entry point: start, submit a
+// campaign, fetch it back, SIGTERM, assert a clean drain and exit 0.
+func TestRunSubmitDrainExitZero(t *testing.T) {
+	base, sigs, code, logs := startServer(t)
+
+	body := `{"app":"Kripke","grid":{"procs":[2,4],"ns":[64,128],"seed":1}}`
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	key := resp.Header.Get("X-Campaign-Key")
+	if key == "" {
+		t.Fatal("no campaign key header")
+	}
+
+	// The finished campaign is fetchable by key.
+	resp2, err := http.Get(base + "/v1/campaigns/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("fetch: status %d", resp2.StatusCode)
+	}
+
+	// Readiness flips once the drain starts; health stays up. Send the
+	// "signal" and wait for exit.
+	sigs <- syscall.SIGTERM
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("exit code %d, want 0; logs:\n%s", c, logs.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server did not exit after SIGTERM; logs:\n%s", logs.String())
+	}
+	out := logs.String()
+	for _, want := range []string{"draining", "drained", "shutdown complete"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("logs missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Identical concurrent submissions against the real daemon coalesce: the
+// metrics endpoint reports coalesce hits and all bodies are identical.
+func TestRunCoalescesConcurrentSubmissions(t *testing.T) {
+	base, sigs, code, logs := startServer(t)
+	defer func() {
+		sigs <- syscall.SIGTERM
+		select {
+		case <-code:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("no exit after SIGTERM; logs:\n%s", logs.String())
+		}
+	}()
+
+	// Repeats stretch the campaign into a window wide enough for the other
+	// submissions to land while it runs.
+	body := `{"app":"Kripke","grid":{"procs":[2,4],"ns":[64,128],"seed":77,"repeats":40}}`
+	const clients = 8
+	bodies := make([][]byte, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("client %d body differs from client 0", i)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// Whether late clients coalesced or hit the cache depends on timing;
+	// together they must account for all but the first submission.
+	co := snap.Counters["server_coalesce_hits"]
+	hits := snap.Counters["cache_hit"]
+	if co+hits < clients-1 {
+		t.Errorf("coalesce_hits=%d + cache_hits=%d, want >= %d", co, hits, clients-1)
+	}
+	if snap.Counters["server_requests_total"] < clients {
+		t.Errorf("server_requests_total=%d, want >= %d", snap.Counters["server_requests_total"], clients)
+	}
+}
+
+// Bad flags exit 2 (flag package convention), bad values exit 1.
+func TestRunFlagErrors(t *testing.T) {
+	var logs syncBuffer
+	if c := run([]string{"-no-such-flag"}, &logs, make(chan os.Signal)); c != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", c)
+	}
+	if c := run([]string{"-queue", "0"}, &logs, make(chan os.Signal)); c != 1 {
+		t.Errorf("invalid -queue: exit %d, want 1", c)
+	}
+	if c := run([]string{"-addr", "256.256.256.256:1"}, &logs, make(chan os.Signal)); c != 1 {
+		t.Errorf("bad addr: exit %d, want 1", c)
+	}
+}

@@ -22,6 +22,8 @@ package campaign
 
 import (
 	"context"
+	"errors"
+	"log"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -34,6 +36,12 @@ import (
 	"extrareq/internal/workload"
 )
 
+// ErrClosed is returned by Run and RunBatch on a Scheduler whose Close has
+// been called. Long-running servers hit this during shutdown races; it is
+// a typed sentinel (errors.Is) so they can map it to a clean "draining"
+// response instead of crashing on a closed pool.
+var ErrClosed = errors.New("campaign: scheduler is closed")
+
 // Metric names under which cache traffic is counted in a request's
 // obs.Registry. cache_bytes counts the marshaled entry sizes moved to or
 // from the disk store (written on miss, read on cold hit).
@@ -41,6 +49,10 @@ const (
 	MetricCacheHit   = "cache_hit"
 	MetricCacheMiss  = "cache_miss"
 	MetricCacheBytes = "cache_bytes"
+	// MetricCacheDiskError counts disk-store write failures (ENOSPC, a
+	// vanished directory, ...). After the first one the scheduler degrades
+	// to memory-only caching instead of failing requests.
+	MetricCacheDiskError = "cache_disk_error"
 )
 
 // DefaultMemEntries is the in-memory LRU capacity when Options leaves it
@@ -58,6 +70,11 @@ type Request struct {
 	MinPoints int
 	Metrics   *obs.Registry
 	Tracer    *obs.Tracer
+	// Progress, when non-nil, receives per-configuration completion
+	// callbacks from the runner (done so far, total). Like the
+	// observability handles it does not participate in the cache key; a
+	// cache hit reports the whole grid done in one call.
+	Progress func(done, total int)
 }
 
 // Outcome is a finished campaign together with its provenance: the cache
@@ -78,6 +95,10 @@ type Options struct {
 	// Dir, when non-empty, enables the on-disk store in that directory
 	// (created if absent).
 	Dir string
+	// Logf receives the scheduler's rare operational warnings (currently
+	// only the one emitted when the disk store is disabled after a write
+	// failure). nil selects log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // Stats is a point-in-time view of a Scheduler's cache traffic, counted
@@ -88,18 +109,25 @@ type Stats struct {
 	Misses int64
 	// Bytes is the total marshaled entry bytes moved to or from disk.
 	Bytes int64
+	// DiskErrors counts disk-store write failures; the first one degrades
+	// the scheduler to memory-only caching.
+	DiskErrors int64
 }
 
 // Scheduler runs campaigns through one shared worker pool with a
 // two-level result cache. It is safe for concurrent use; Close releases
 // the pool (outstanding Run calls must have returned).
 type Scheduler struct {
-	pool   *pool
-	mem    *lru
-	disk   *DiskStore // nil without Options.Dir
-	hits   atomic.Int64
-	misses atomic.Int64
-	bytes  atomic.Int64
+	pool     *pool
+	mem      *lru
+	disk     *DiskStore // nil without Options.Dir
+	logf     func(format string, args ...any)
+	hits     atomic.Int64
+	misses   atomic.Int64
+	bytes    atomic.Int64
+	diskErrs atomic.Int64
+	diskDown atomic.Bool // set after the first disk write failure
+	warnOnce sync.Once
 }
 
 // New builds a Scheduler and starts its worker pool.
@@ -112,9 +140,14 @@ func New(o Options) (*Scheduler, error) {
 	if mem <= 0 {
 		mem = DefaultMemEntries
 	}
+	logf := o.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
 	s := &Scheduler{
 		pool: newPool(workers),
 		mem:  newLRU(mem),
+		logf: logf,
 	}
 	if o.Dir != "" {
 		disk, err := OpenDiskStore(o.Dir)
@@ -127,12 +160,50 @@ func New(o Options) (*Scheduler, error) {
 	return s, nil
 }
 
-// Close stops the worker pool. The Scheduler must not be used afterwards.
+// Close stops the worker pool and waits for its workers to exit. It is
+// idempotent — extra calls are no-ops — and later Run/RunBatch calls
+// return ErrClosed. Run calls still in flight when Close fires finish the
+// tasks the pool already accepted, then fail their remaining submissions
+// with ErrClosed.
 func (s *Scheduler) Close() { s.pool.close() }
+
+// Closed reports whether Close has been called.
+func (s *Scheduler) Closed() bool { return s.pool.closed() }
 
 // Stats returns the cache traffic counted so far.
 func (s *Scheduler) Stats() Stats {
-	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Bytes: s.bytes.Load()}
+	return Stats{
+		Hits:       s.hits.Load(),
+		Misses:     s.misses.Load(),
+		Bytes:      s.bytes.Load(),
+		DiskErrors: s.diskErrs.Load(),
+	}
+}
+
+// Lookup returns the marshaled cache entry stored under key (memory first,
+// then disk), without running anything. Servers use it to answer
+// fetch-by-key requests; decode the bytes with Decode.
+func (s *Scheduler) Lookup(key Key) ([]byte, bool) {
+	if data, ok := s.mem.get(key); ok {
+		return data, true
+	}
+	if s.disk != nil && !s.diskDown.Load() {
+		if data, ok := s.disk.Load(key); ok {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// Flush forces the disk store's directory contents durable (fsync). It is
+// a no-op without a disk store or after the store degraded to memory-only.
+// Entries are already written through synchronously, so Flush is a belt —
+// drain paths call it so a SIGTERM cannot race the last directory update.
+func (s *Scheduler) Flush() error {
+	if s.disk == nil || s.diskDown.Load() {
+		return nil
+	}
+	return s.disk.Sync()
 }
 
 // Run measures one campaign, serving it from cache when an identical one
@@ -140,12 +211,17 @@ func (s *Scheduler) Stats() Stats {
 // via ResilientRunner, then stored in memory and (when configured) on
 // disk. Failed campaigns are never cached; their report, when the runner
 // produced one, is returned alongside the error so callers can render the
-// partial account. A cache-dir write failure is a real error — the caller
-// asked for persistence — but the measured outcome is still returned with
-// it, so nothing is lost.
+// partial account. A cache-dir write failure (ENOSPC, a directory deleted
+// under a long-lived server, ...) never fails the request: the scheduler
+// counts it (Stats.DiskErrors, cache_disk_error), warns once through
+// Options.Logf, and degrades to memory-only caching for the rest of its
+// life — the measured outcome is served normally.
 func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if s.pool.closed() {
+		return nil, ErrClosed
 	}
 	key := ComputeKey(req)
 	cm := newCacheMetrics(req.Metrics)
@@ -154,12 +230,13 @@ func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
 		if c, rep, err := decode(key, data); err == nil {
 			s.hits.Add(1)
 			cm.addHit()
+			reportAllDone(req)
 			return &Outcome{Campaign: c, Report: rep, Key: key, CacheHit: true}, nil
 		}
 		// An undecodable in-memory entry cannot normally happen (we only
 		// store bytes we encoded); fall through and remeasure.
 	}
-	if s.disk != nil {
+	if s.disk != nil && !s.diskDown.Load() {
 		if data, ok := s.disk.Load(key); ok {
 			if c, rep, err := decode(key, data); err == nil {
 				s.mem.put(key, data)
@@ -167,6 +244,7 @@ func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
 				s.bytes.Add(int64(len(data)))
 				cm.addHit()
 				cm.addBytes(int64(len(data)))
+				reportAllDone(req)
 				return &Outcome{Campaign: c, Report: rep, Key: key, CacheHit: true}, nil
 			}
 			// Corrupt on-disk entry: treat as a miss; the fresh result
@@ -183,6 +261,7 @@ func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
 		MinPoints: req.MinPoints,
 		Metrics:   req.Metrics,
 		Tracer:    req.Tracer,
+		Progress:  req.Progress,
 		Exec:      s.exec(ctx),
 	}
 	c, rep, err := r.Run(req.Grid)
@@ -196,14 +275,29 @@ func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
 	}
 	s.mem.put(key, data)
 	out := &Outcome{Campaign: c, Report: rep, Key: key}
-	if s.disk != nil {
+	if s.disk != nil && !s.diskDown.Load() {
 		if err := s.disk.Store(key, data); err != nil {
-			return out, err
+			s.diskErrs.Add(1)
+			cm.addDiskError()
+			s.diskDown.Store(true)
+			s.warnOnce.Do(func() {
+				s.logf("campaign: disk cache write failed, degrading to memory-only: %v", err)
+			})
+			return out, nil
 		}
 		s.bytes.Add(int64(len(data)))
 		cm.addBytes(int64(len(data)))
 	}
 	return out, nil
+}
+
+// reportAllDone mirrors a fresh run's progress stream for a cache hit: the
+// whole grid is done in one callback.
+func reportAllDone(req Request) {
+	if req.Progress != nil {
+		total := len(req.Grid.Procs) * len(req.Grid.Ns)
+		req.Progress(total, total)
+	}
 }
 
 // RunBatch runs the requests concurrently, all drawing on the scheduler's
@@ -241,6 +335,8 @@ func (s *Scheduler) exec(ctx context.Context) workload.ExecFunc {
 				submitted++
 			case <-ctx.Done():
 				err = context.Cause(ctx)
+			case <-s.pool.quit:
+				err = ErrClosed
 			}
 			if err != nil {
 				break
@@ -257,7 +353,7 @@ func (s *Scheduler) exec(ctx context.Context) workload.ExecFunc {
 // cacheMetrics resolves the cache counters once per request; without a
 // registry every field stays nil and the add methods are no-ops.
 type cacheMetrics struct {
-	hit, miss, bytes *obs.Counter
+	hit, miss, bytes, diskErr *obs.Counter
 }
 
 func newCacheMetrics(reg *obs.Registry) cacheMetrics {
@@ -265,9 +361,10 @@ func newCacheMetrics(reg *obs.Registry) cacheMetrics {
 		return cacheMetrics{}
 	}
 	return cacheMetrics{
-		hit:   reg.Counter(MetricCacheHit),
-		miss:  reg.Counter(MetricCacheMiss),
-		bytes: reg.Counter(MetricCacheBytes),
+		hit:     reg.Counter(MetricCacheHit),
+		miss:    reg.Counter(MetricCacheMiss),
+		bytes:   reg.Counter(MetricCacheBytes),
+		diskErr: reg.Counter(MetricCacheDiskError),
 	}
 }
 
@@ -289,6 +386,12 @@ func (m cacheMetrics) addBytes(n int64) {
 	}
 }
 
+func (m cacheMetrics) addDiskError() {
+	if m.diskErr != nil {
+		m.diskErr.Add(1)
+	}
+}
+
 // task is one unit of pool work: slot i of some campaign's grid.
 type task struct {
 	run  func(i int)
@@ -299,14 +402,19 @@ type task struct {
 // pool is the shared worker pool. It is deliberately simple: a fixed set
 // of goroutines draining one unbuffered channel. Campaign goroutines block
 // in exec while submitting, workers never block on campaigns, so the two
-// layers cannot deadlock.
+// layers cannot deadlock. Shutdown goes through a quit channel instead of
+// closing tasks: submitters select on quit and fail with ErrClosed, so a
+// Run racing Close degrades to an error instead of a send-on-closed-channel
+// panic, and close is idempotent.
 type pool struct {
 	tasks chan task
+	quit  chan struct{}
+	once  sync.Once
 	wg    sync.WaitGroup
 }
 
 func newPool(workers int) *pool {
-	p := &pool{tasks: make(chan task)}
+	p := &pool{tasks: make(chan task), quit: make(chan struct{})}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
 		go func(w int) {
@@ -314,9 +422,14 @@ func newPool(workers int) *pool {
 			labels := pprof.Labels("pool", "campaign.Scheduler",
 				"worker", strconv.Itoa(w))
 			pprof.Do(context.Background(), labels, func(context.Context) {
-				for t := range p.tasks {
-					t.run(t.i)
-					t.done.Done()
+				for {
+					select {
+					case <-p.quit:
+						return
+					case t := <-p.tasks:
+						t.run(t.i)
+						t.done.Done()
+					}
 				}
 			})
 		}(w)
@@ -325,8 +438,17 @@ func newPool(workers int) *pool {
 }
 
 func (p *pool) close() {
-	close(p.tasks)
+	p.once.Do(func() { close(p.quit) })
 	p.wg.Wait()
+}
+
+func (p *pool) closed() bool {
+	select {
+	case <-p.quit:
+		return true
+	default:
+		return false
+	}
 }
 
 // appName tolerates a nil App so ComputeKey never panics; the runner

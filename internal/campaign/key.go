@@ -23,6 +23,18 @@ type Key [sha256.Size]byte
 // stem.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// ParseKey parses the hex form produced by Key.String. Servers use it to
+// turn a client-supplied key path segment back into a cache address.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return Key{}, fmt.Errorf("campaign: malformed key %q (want %d hex bytes)", s, len(k))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
 // ComputeKey hashes everything a campaign's bytes depend on: the version
 // salt, the app name, the grid (procs, problem sizes, seed, repeats), the
 // canonical fault-spec string (inactive plans hash like no plan, because

@@ -35,6 +35,14 @@ func encode(key Key, app string, c *workload.Campaign, rep *workload.CampaignRep
 	})
 }
 
+// Decode unmarshals a marshaled cache entry (as returned by
+// Scheduler.Lookup) and validates it against the key that addressed it.
+// It is the exported face of decode for servers answering fetch-by-key
+// requests from stored bytes.
+func Decode(key Key, data []byte) (*workload.Campaign, *workload.CampaignReport, error) {
+	return decode(key, data)
+}
+
 // decode unmarshals a cache entry and validates it against the key that
 // addressed it. Any mismatch (format drift, truncation, a file renamed by
 // hand) is an error; callers treat that as a cache miss, never a failure.
@@ -90,16 +98,23 @@ func (s *DiskStore) Load(k Key) (data []byte, ok bool) {
 	return data, true
 }
 
-// Store writes the entry atomically: temp file, fsync-free rename. Rename
-// within one directory is atomic on POSIX, so concurrent writers of the
-// same key race benignly — both write identical bytes (the key is a
-// content hash) and the loser's rename just replaces them.
+// Store writes the entry atomically and durably: temp file, fsync, rename,
+// fsync of the parent directory. Rename within one directory is atomic on
+// POSIX, so concurrent writers of the same key race benignly — both write
+// identical bytes (the key is a content hash) and the loser's rename just
+// replaces them. The two fsyncs matter to a long-lived server: without
+// them a machine crash shortly after the rename can leave a zero-length or
+// unlinked entry, which the tolerant loader would treat as a miss but
+// which silently throws away a measured campaign.
 func (s *DiskStore) Store(k Key, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, "."+k.String()+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("campaign: cache write: %w", err)
 	}
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
@@ -111,6 +126,28 @@ func (s *DiskStore) Store(k Key, data []byte) error {
 	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sync fsyncs the store directory itself, making completed renames
+// durable. Store calls it after every write; drain paths call it once more
+// through Scheduler.Flush before exit.
+func (s *DiskStore) Sync() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("campaign: cache dir sync: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return fmt.Errorf("campaign: cache dir sync: %w", serr)
 	}
 	return nil
 }

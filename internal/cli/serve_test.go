@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"extrareq/internal/obs"
+	"extrareq/internal/serve"
+)
+
+func TestServeFlagsDefaultsAndWiring(t *testing.T) {
+	fs := flag.NewFlagSet("reqserve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var f ServeFlags
+	f.Register(fs)
+	if err := fs.Parse([]string{
+		"-addr", "127.0.0.1:0",
+		"-workers", "3",
+		"-cache-dir", t.TempDir(),
+		"-queue", "7",
+		"-tenant-rate", "2.5",
+		"-tenant-burst", "4",
+		"-request-timeout", "30s",
+		"-drain-timeout", "2s",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Setup(io.Discard, "reqserve"); err != nil {
+		t.Fatal(err)
+	}
+	so := f.SchedulerOptions(nil)
+	if so.Workers != 3 || so.Dir == "" {
+		t.Errorf("scheduler options: %+v", so)
+	}
+	reg := obs.NewRegistry()
+	opts := f.ServerOptions(nil, reg, nil)
+	if opts.Queue != 7 || opts.TenantRate != 2.5 || opts.TenantBurst != 4 {
+		t.Errorf("admission options: %+v", opts)
+	}
+	if opts.RequestTimeout != 30*time.Second || opts.DrainTimeout != 2*time.Second {
+		t.Errorf("timeout options: %+v", opts)
+	}
+	if opts.AsyncTimeout != serve.DefaultAsyncTimeout {
+		t.Errorf("AsyncTimeout = %v, want default %v", opts.AsyncTimeout, serve.DefaultAsyncTimeout)
+	}
+	if opts.Metrics != reg {
+		t.Error("registry not wired through")
+	}
+}
+
+func TestServeFlagsValidation(t *testing.T) {
+	var f ServeFlags
+	f.Queue = 0
+	if err := f.Setup(io.Discard, "reqserve"); err == nil || !strings.Contains(err.Error(), "-queue") {
+		t.Errorf("queue=0: err = %v, want -queue validation error", err)
+	}
+	f.Queue = 1
+	f.TenantRate = -1
+	if err := f.Setup(io.Discard, "reqserve"); err == nil || !strings.Contains(err.Error(), "-tenant-rate") {
+		t.Errorf("negative rate: err = %v, want -tenant-rate validation error", err)
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+// Server-level RED metrics (rate, errors, duration) plus the queueing
+// signals a campaign service needs to explain its own behavior under load:
+// how deep the admission queue is, how much duplicate work was coalesced
+// away, and how many requests were shed instead of queued unboundedly.
+// The RED type resolves the instruments once and is nil-safe throughout,
+// so a server built without a registry pays nothing.
+
+// Metric names of the server-level RED instruments.
+const (
+	// MetricServerRequests counts every submission that reached admission
+	// (accepted or shed).
+	MetricServerRequests = "server_requests_total"
+	// MetricServerErrors counts submissions that finished with an error
+	// (campaign failures, cancelled waiters — not sheds).
+	MetricServerErrors = "server_errors_total"
+	// MetricServerShed counts submissions rejected by admission control:
+	// queue full, tenant over rate, or server draining.
+	MetricServerShed = "server_shed_total"
+	// MetricServerCoalesced counts submissions that attached to an
+	// already-running identical campaign instead of starting their own.
+	MetricServerCoalesced = "server_coalesce_hits"
+	// MetricServerQueueDepth gauges flights admitted but not yet finished.
+	MetricServerQueueDepth = "server_queue_depth"
+	// MetricServerInflight gauges campaign executions currently running.
+	MetricServerInflight = "server_inflight"
+	// MetricServerLatency is the per-request latency histogram (seconds),
+	// measured from admission to response.
+	MetricServerLatency = "server_request_seconds"
+)
+
+// RequestSecondsEdges is the bucket layout of the server request-latency
+// histogram: 100µs to ~26s in x4 steps, matching workload.RunSecondsEdges
+// so campaign and request latencies line up in dashboards.
+func RequestSecondsEdges() []float64 { return ExpEdges(1e-4, 4, 10) }
+
+// RED bundles the server instruments. The zero value and the nil pointer
+// are valid no-op instances.
+type RED struct {
+	requests  *Counter
+	errors    *Counter
+	shed      *Counter
+	coalesced *Counter
+	queue     *Gauge
+	inflight  *Gauge
+	latency   *Histogram
+}
+
+// NewRED resolves the server instruments in reg; nil reg returns a no-op
+// RED.
+func NewRED(reg *Registry) *RED {
+	if reg == nil {
+		return nil
+	}
+	return &RED{
+		requests:  reg.Counter(MetricServerRequests),
+		errors:    reg.Counter(MetricServerErrors),
+		shed:      reg.Counter(MetricServerShed),
+		coalesced: reg.Counter(MetricServerCoalesced),
+		queue:     reg.Gauge(MetricServerQueueDepth),
+		inflight:  reg.Gauge(MetricServerInflight),
+		latency:   reg.Histogram(MetricServerLatency, RequestSecondsEdges()),
+	}
+}
+
+// Request counts one admission attempt.
+func (m *RED) Request() {
+	if m != nil {
+		m.requests.Inc()
+	}
+}
+
+// Error counts one failed request.
+func (m *RED) Error() {
+	if m != nil {
+		m.errors.Inc()
+	}
+}
+
+// Shed counts one request rejected by admission control.
+func (m *RED) Shed() {
+	if m != nil {
+		m.shed.Inc()
+	}
+}
+
+// Coalesced counts one request that attached to an in-flight execution.
+func (m *RED) Coalesced() {
+	if m != nil {
+		m.coalesced.Inc()
+	}
+}
+
+// ObserveLatency records one request's admission-to-response time.
+func (m *RED) ObserveLatency(seconds float64) {
+	if m != nil {
+		m.latency.Observe(seconds)
+	}
+}
+
+// SetQueueDepth records the current number of admitted, unfinished flights.
+func (m *RED) SetQueueDepth(n int) {
+	if m != nil {
+		m.queue.Set(float64(n))
+	}
+}
+
+// SetInflight records the current number of running campaign executions.
+func (m *RED) SetInflight(n int) {
+	if m != nil {
+		m.inflight.Set(float64(n))
+	}
+}

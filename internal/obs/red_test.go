@@ -1,0 +1,57 @@
+package obs
+
+import "testing"
+
+func TestREDCountsIntoRegistry(t *testing.T) {
+	reg := NewRegistry()
+	red := NewRED(reg)
+	red.Request()
+	red.Request()
+	red.Error()
+	red.Shed()
+	red.Coalesced()
+	red.Coalesced()
+	red.Coalesced()
+	red.SetQueueDepth(5)
+	red.SetInflight(2)
+	red.ObserveLatency(0.25)
+
+	s := reg.Snapshot()
+	wantCounters := map[string]int64{
+		MetricServerRequests:  2,
+		MetricServerErrors:    1,
+		MetricServerShed:      1,
+		MetricServerCoalesced: 3,
+	}
+	for name, want := range wantCounters {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := s.Gauges[MetricServerQueueDepth]; got != 5 {
+		t.Errorf("%s = %v, want 5", MetricServerQueueDepth, got)
+	}
+	if got := s.Gauges[MetricServerInflight]; got != 2 {
+		t.Errorf("%s = %v, want 2", MetricServerInflight, got)
+	}
+	h, ok := s.Histograms[MetricServerLatency]
+	if !ok {
+		t.Fatalf("histogram %s missing from snapshot", MetricServerLatency)
+	}
+	if h.Total != 1 || h.Sum != 0.25 {
+		t.Errorf("latency histogram total=%d sum=%v, want 1/0.25", h.Total, h.Sum)
+	}
+}
+
+// A nil RED (no registry) must be a total no-op: servers built without
+// observability share the same call sites.
+func TestREDNilSafe(t *testing.T) {
+	var red *RED
+	red.Request()
+	red.Error()
+	red.Shed()
+	red.Coalesced()
+	red.SetQueueDepth(1)
+	red.SetInflight(1)
+	red.ObserveLatency(1)
+}

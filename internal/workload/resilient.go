@@ -74,6 +74,14 @@ type ResilientRunner struct {
 	// Tracer records the per-rank runtime events of every attempt; runs
 	// are tagged "app/p=../n=../attempt=../rep=..". nil disables tracing.
 	Tracer *obs.Tracer
+	// Progress, when non-nil, is called after each grid configuration
+	// finishes (recovered or quarantined alike) with the count of finished
+	// configurations and the grid total. Calls may arrive from concurrent
+	// workers but done is unique per call and reaches total exactly once;
+	// servers use this to answer progress polls for long campaigns. The
+	// callback runs on the measurement path, so it must be cheap and must
+	// not block.
+	Progress func(done, total int)
 }
 
 // Resilience defaults.
@@ -406,9 +414,13 @@ func (r *ResilientRunner) Run(grid Grid) (*Campaign, *CampaignReport, error) {
 	if exec == nil {
 		exec = ownPoolExec(workers, r.App.Name())
 	}
+	var finished atomic.Int64
 	if err := exec(len(configs), func(i int) {
 		p, n := configs[i].p, configs[i].n
 		samples[i], outcomes[i] = r.measureConfig(grid, p, n, stackByN[n], cm)
+		if r.Progress != nil {
+			r.Progress(int(finished.Add(1)), len(configs))
+		}
 	}); err != nil {
 		return nil, nil, err
 	}

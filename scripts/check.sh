@@ -45,7 +45,7 @@ go test -run=NONE -bench=BenchmarkMeasure -benchtime=1x ./...
 # performance across the repo's history is comparable without re-running old
 # revisions. BENCH_PR stamps the PR number; BENCH_TIME trades gate time for
 # measurement stability.
-BENCH_PR=${BENCH_PR:-6}
+BENCH_PR=${BENCH_PR:-7}
 BENCH_TIME=${BENCH_TIME:-0.3s}
 echo "== perf trajectory (BENCH_${BENCH_PR}.json, benchtime ${BENCH_TIME}) =="
 {
@@ -55,7 +55,14 @@ echo "== perf trajectory (BENCH_${BENCH_PR}.json, benchtime ${BENCH_TIME}) =="
         -benchmem -benchtime="${BENCH_TIME}" .
     go test -run=NONE -bench='BenchmarkMeasureCampaign' \
         -benchmem -benchtime=1x ./internal/campaign/
+    go test -run=NONE -bench='BenchmarkServeThroughput' \
+        -benchmem -benchtime="${BENCH_TIME}" ./internal/serve/
 } | go run ./cmd/benchjson -pr "${BENCH_PR}" > "BENCH_${BENCH_PR}.json"
 echo "wrote BENCH_${BENCH_PR}.json"
+
+# Service smoke: a real reqserve process must coalesce concurrent identical
+# HTTP submissions and drain cleanly to exit 0 on SIGTERM.
+echo "== reqserve smoke =="
+sh scripts/reqserve_smoke.sh
 
 echo "check: all clean"

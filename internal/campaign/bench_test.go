@@ -55,3 +55,61 @@ func BenchmarkMeasureCampaignWarmCache(b *testing.B) {
 		}
 	}
 }
+
+// Overlap benchmarks quantify point-level reuse: every iteration runs a
+// campaign sharing half its grid with an already cached base campaign.
+// Warm assembles the shared half from point entries and measures only the
+// novel half; Cold is the same workload with nothing cached, the
+// apples-to-apples baseline. The iteration grids vary their novel column
+// (never their seed), so campaign-level entries cannot satisfy them — the
+// speedup is attributable to point reuse alone.
+
+func BenchmarkOverlapWarm(b *testing.B) {
+	s, err := New(Options{MemPoints: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	app := testApp(b)
+	base := testGrid() // {2,4} x {64,128}: the shared half is n=64
+	if _, err := s.Run(context.Background(), Request{App: app, Grid: base}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grid := base
+		grid.Ns = []int{64, 1024 + i} // half shared with base, half novel
+		out, err := s.Run(context.Background(), Request{App: app, Grid: grid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.PointsReused != len(grid.Procs) {
+			b.Fatalf("iteration reused %d points, want %d", out.PointsReused, len(grid.Procs))
+		}
+	}
+}
+
+func BenchmarkOverlapCold(b *testing.B) {
+	s, err := New(Options{MemPoints: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	app := testApp(b)
+	base := testGrid()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grid := base
+		grid.Seed = int64(i + 1) // fresh keys: nothing shared
+		grid.Ns = []int{64, 1024 + i}
+		out, err := s.Run(context.Background(), Request{App: app, Grid: grid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.PointsReused != 0 {
+			b.Fatal("cold iteration reused points")
+		}
+	}
+}

@@ -49,15 +49,27 @@ const (
 	MetricCacheHit   = "cache_hit"
 	MetricCacheMiss  = "cache_miss"
 	MetricCacheBytes = "cache_bytes"
-	// MetricCacheDiskError counts disk-store write failures (ENOSPC, a
-	// vanished directory, ...). After the first one the scheduler degrades
-	// to memory-only caching instead of failing requests.
+	// MetricCachePointHit / MetricCachePointMiss count per-point cache
+	// traffic on the assembly path: a campaign whose own key misses still
+	// reuses every (p, n) point entry a previous campaign stored.
+	MetricCachePointHit  = "cache_point_hit"
+	MetricCachePointMiss = "cache_point_miss"
+	// MetricCacheDiskError counts store write failures (ENOSPC, a
+	// vanished directory, ...). After the first one the scheduler stops
+	// writing to the store instead of failing requests; reads stay live.
 	MetricCacheDiskError = "cache_disk_error"
 )
 
-// DefaultMemEntries is the in-memory LRU capacity when Options leaves it
-// zero. Entries are a few KB of JSON each, so the default costs little.
+// DefaultMemEntries is the in-memory LRU capacity for campaign-level
+// entries when Options leaves it zero. Entries are a few KB of JSON each,
+// so the default costs little.
 const DefaultMemEntries = 64
+
+// DefaultMemPoints is the in-memory LRU capacity for point-level entries
+// when Options leaves it zero. Point entries are a few hundred bytes each
+// and a single campaign produces |Procs|×|Ns| of them, so the default is
+// sized to hold many campaigns' worth.
+const DefaultMemPoints = 1024
 
 // Request describes one campaign: which app, over which grid, under which
 // fault plan and resilience budget. The observability handles ride along
@@ -78,25 +90,45 @@ type Request struct {
 }
 
 // Outcome is a finished campaign together with its provenance: the cache
-// key it is stored under and whether it was served from cache.
+// key it is stored under, whether it was served from cache, and how much
+// of it was assembled from previously measured points.
 type Outcome struct {
 	Campaign *workload.Campaign
 	Report   *workload.CampaignReport
 	Key      Key
+	// CacheHit reports that nothing was measured: the campaign was served
+	// from its own cache entry, or assembled entirely from point entries.
 	CacheHit bool
+	// PointsReused / PointsMeasured break down the assembly path: how many
+	// (p, n) configurations came from the point cache versus being
+	// measured by this request. A campaign-entry hit reports the whole
+	// grid as reused.
+	PointsReused   int
+	PointsMeasured int
 }
 
 // Options configures a Scheduler.
 type Options struct {
 	// Workers is the shared pool size; <= 0 selects GOMAXPROCS.
 	Workers int
-	// MemEntries caps the in-memory LRU; <= 0 selects DefaultMemEntries.
+	// MemEntries caps the in-memory campaign-entry LRU; <= 0 selects
+	// DefaultMemEntries.
 	MemEntries int
-	// Dir, when non-empty, enables the on-disk store in that directory
-	// (created if absent).
+	// MemPoints caps the in-memory point-entry LRU; <= 0 selects
+	// DefaultMemPoints.
+	MemPoints int
+	// Dir, when non-empty, enables the default on-disk store (DiskStore)
+	// in that directory (created if absent). Multiple processes may share
+	// one directory: the layout is one file per content-hashed key,
+	// written via atomic rename, so concurrent writers shard a campaign's
+	// points instead of corrupting each other.
 	Dir string
+	// Store, when non-nil, replaces the default DiskStore as the
+	// persistent tier (Dir is then ignored). Implementations must satisfy
+	// the Store contract: concurrent-safe, tolerant loads, atomic writes.
+	Store Store
 	// Logf receives the scheduler's rare operational warnings (currently
-	// only the one emitted when the disk store is disabled after a write
+	// only the one emitted when store writes are disabled after a write
 	// failure). nil selects log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -105,29 +137,43 @@ type Options struct {
 // independently of any obs.Registry so tests and CLI summaries work
 // without one.
 type Stats struct {
+	// Hits / Misses count campaign-level entry lookups in Run.
 	Hits   int64
 	Misses int64
-	// Bytes is the total marshaled entry bytes moved to or from disk.
+	// PointHits / PointMisses count per-point lookups on the assembly path
+	// (only taken after a campaign-level miss).
+	PointHits   int64
+	PointMisses int64
+	// Bytes is the total marshaled entry bytes moved to or from the store.
 	Bytes int64
-	// DiskErrors counts disk-store write failures; the first one degrades
-	// the scheduler to memory-only caching.
+	// DiskErrors counts store write failures; the first one stops further
+	// store writes for the scheduler's life (reads stay live).
 	DiskErrors int64
 }
 
 // Scheduler runs campaigns through one shared worker pool with a
-// two-level result cache. It is safe for concurrent use; Close releases
-// the pool (outstanding Run calls must have returned).
+// two-level result cache at two granularities: whole campaigns (the fast
+// path) and individual (p, n) measurement points, from which a campaign
+// with a cold key is assembled, measuring only the points no previous
+// campaign covered. It is safe for concurrent use; Close releases the
+// pool (outstanding Run calls must have returned).
 type Scheduler struct {
-	pool     *pool
-	mem      *lru
-	disk     *DiskStore // nil without Options.Dir
-	logf     func(format string, args ...any)
-	hits     atomic.Int64
-	misses   atomic.Int64
-	bytes    atomic.Int64
-	diskErrs atomic.Int64
-	diskDown atomic.Bool // set after the first disk write failure
-	warnOnce sync.Once
+	pool      *pool
+	mem       *lru  // campaign-level entries
+	pmem      *lru  // point-level entries
+	store     Store // nil without Options.Dir/Options.Store
+	logf      func(format string, args ...any)
+	hits      atomic.Int64
+	misses    atomic.Int64
+	pointHits atomic.Int64
+	pointMiss atomic.Int64
+	bytes     atomic.Int64
+	diskErrs  atomic.Int64
+	// writeDown latches after the first store write failure: further
+	// writes are skipped for the scheduler's life, but reads keep serving
+	// the entries that are already there — a transient ENOSPC must not
+	// stop a warm cache from answering.
+	writeDown atomic.Bool
 }
 
 // New builds a Scheduler and starts its worker pool.
@@ -140,6 +186,10 @@ func New(o Options) (*Scheduler, error) {
 	if mem <= 0 {
 		mem = DefaultMemEntries
 	}
+	memPoints := o.MemPoints
+	if memPoints <= 0 {
+		memPoints = DefaultMemPoints
+	}
 	logf := o.Logf
 	if logf == nil {
 		logf = log.Printf
@@ -147,15 +197,19 @@ func New(o Options) (*Scheduler, error) {
 	s := &Scheduler{
 		pool: newPool(workers),
 		mem:  newLRU(mem),
+		pmem: newLRU(memPoints),
 		logf: logf,
 	}
-	if o.Dir != "" {
+	switch {
+	case o.Store != nil:
+		s.store = o.Store
+	case o.Dir != "":
 		disk, err := OpenDiskStore(o.Dir)
 		if err != nil {
 			s.pool.close()
 			return nil, err
 		}
-		s.disk = disk
+		s.store = disk
 	}
 	return s, nil
 }
@@ -173,49 +227,82 @@ func (s *Scheduler) Closed() bool { return s.pool.closed() }
 // Stats returns the cache traffic counted so far.
 func (s *Scheduler) Stats() Stats {
 	return Stats{
-		Hits:       s.hits.Load(),
-		Misses:     s.misses.Load(),
-		Bytes:      s.bytes.Load(),
-		DiskErrors: s.diskErrs.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		PointHits:   s.pointHits.Load(),
+		PointMisses: s.pointMiss.Load(),
+		Bytes:       s.bytes.Load(),
+		DiskErrors:  s.diskErrs.Load(),
 	}
 }
 
 // Lookup returns the marshaled cache entry stored under key (memory first,
-// then disk), without running anything. Servers use it to answer
-// fetch-by-key requests; decode the bytes with Decode.
+// then the store), without running anything. Servers use it to answer
+// fetch-by-key requests; decode the bytes with Decode. The read path is
+// never gated by write degradation: entries already on disk keep serving
+// after an ENOSPC stopped new writes.
 func (s *Scheduler) Lookup(key Key) ([]byte, bool) {
 	if data, ok := s.mem.get(key); ok {
 		return data, true
 	}
-	if s.disk != nil && !s.diskDown.Load() {
-		if data, ok := s.disk.Load(key); ok {
+	if s.store != nil {
+		if data, ok := s.store.Load(key); ok {
 			return data, true
 		}
 	}
 	return nil, false
 }
 
-// Flush forces the disk store's directory contents durable (fsync). It is
-// a no-op without a disk store or after the store degraded to memory-only.
-// Entries are already written through synchronously, so Flush is a belt —
-// drain paths call it so a SIGTERM cannot race the last directory update.
+// Flush forces the store's completed writes durable (fsync). It is a
+// no-op without a store or after writes degraded. Entries are already
+// written through synchronously, so Flush is a belt — drain paths call it
+// so a SIGTERM cannot race the last directory update.
 func (s *Scheduler) Flush() error {
-	if s.disk == nil || s.diskDown.Load() {
+	if s.store == nil || s.writeDown.Load() {
 		return nil
 	}
-	return s.disk.Sync()
+	return s.store.Sync()
+}
+
+// storeWrite persists one entry to the store unless writes have degraded.
+// The first failure latches writeDown — counted once, warned once — and
+// later calls are no-ops; reads are never affected. Safe for concurrent
+// use (point entries are published from pool workers).
+func (s *Scheduler) storeWrite(key Key, data []byte, cm cacheMetrics) {
+	if s.store == nil || s.writeDown.Load() {
+		return
+	}
+	if err := s.store.Store(key, data); err != nil {
+		if s.writeDown.CompareAndSwap(false, true) {
+			s.diskErrs.Add(1)
+			cm.addDiskError()
+			s.logf("campaign: cache store write failed, degrading to memory-only writes (reads stay live): %v", err)
+		}
+		return
+	}
+	s.bytes.Add(int64(len(data)))
+	cm.addBytes(int64(len(data)))
 }
 
 // Run measures one campaign, serving it from cache when an identical one
-// has been measured before. Fresh results are computed on the shared pool
-// via ResilientRunner, then stored in memory and (when configured) on
-// disk. Failed campaigns are never cached; their report, when the runner
-// produced one, is returned alongside the error so callers can render the
-// partial account. A cache-dir write failure (ENOSPC, a directory deleted
-// under a long-lived server, ...) never fails the request: the scheduler
-// counts it (Stats.DiskErrors, cache_disk_error), warns once through
-// Options.Logf, and degrades to memory-only caching for the rest of its
-// life — the measured outcome is served normally.
+// has been measured before, and assembling it from per-point entries when
+// only parts of it have: after a campaign-level miss, every (p, n)
+// configuration is looked up under its own content address
+// (ComputePointKey), cached points are slotted in without running
+// anything, and only the missing points are measured on the shared pool
+// via ResilientRunner — so a grid that overlaps a previous campaign pays
+// only for its novel points. Freshly measured points are published to the
+// point cache as they complete (other processes sharing the store pick
+// them up mid-campaign), and the finished campaign is stored whole under
+// its campaign key as a fast path for exact reruns. Failed campaigns are
+// never cached at campaign level, but their completed points are; their
+// report, when the runner produced one, is returned alongside the error
+// so callers can render the partial account. A store write failure
+// (ENOSPC, a directory deleted under a long-lived server, ...) never
+// fails the request: the scheduler counts it (Stats.DiskErrors,
+// cache_disk_error), warns once through Options.Logf, and stops writing
+// to the store for the rest of its life — reads keep serving the entries
+// already there, and the measured outcome is served normally.
 func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -225,19 +312,21 @@ func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
 	}
 	key := ComputeKey(req)
 	cm := newCacheMetrics(req.Metrics)
+	gridPoints := len(req.Grid.Procs) * len(req.Grid.Ns)
 
 	if data, ok := s.mem.get(key); ok {
 		if c, rep, err := decode(key, data); err == nil {
 			s.hits.Add(1)
 			cm.addHit()
 			reportAllDone(req)
-			return &Outcome{Campaign: c, Report: rep, Key: key, CacheHit: true}, nil
+			return &Outcome{Campaign: c, Report: rep, Key: key, CacheHit: true,
+				PointsReused: gridPoints}, nil
 		}
 		// An undecodable in-memory entry cannot normally happen (we only
 		// store bytes we encoded); fall through and remeasure.
 	}
-	if s.disk != nil && !s.diskDown.Load() {
-		if data, ok := s.disk.Load(key); ok {
+	if s.store != nil {
+		if data, ok := s.store.Load(key); ok {
 			if c, rep, err := decode(key, data); err == nil {
 				s.mem.put(key, data)
 				s.hits.Add(1)
@@ -245,15 +334,17 @@ func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
 				cm.addHit()
 				cm.addBytes(int64(len(data)))
 				reportAllDone(req)
-				return &Outcome{Campaign: c, Report: rep, Key: key, CacheHit: true}, nil
+				return &Outcome{Campaign: c, Report: rep, Key: key, CacheHit: true,
+					PointsReused: gridPoints}, nil
 			}
-			// Corrupt on-disk entry: treat as a miss; the fresh result
+			// Corrupt stored entry: treat as a miss; the fresh result
 			// below overwrites it atomically.
 		}
 	}
 
 	s.misses.Add(1)
 	cm.addMiss()
+	var reused, measured atomic.Int64
 	r := &workload.ResilientRunner{
 		App:       req.App,
 		Faults:    req.Faults,
@@ -263,32 +354,77 @@ func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
 		Tracer:    req.Tracer,
 		Progress:  req.Progress,
 		Exec:      s.exec(ctx),
+		Prefill: func(p, n int) (workload.Sample, workload.ConfigOutcome, bool) {
+			sm, out, ok := s.loadPoint(req, p, n, cm)
+			if ok {
+				reused.Add(1)
+			}
+			return sm, out, ok
+		},
+		OnConfig: func(sm workload.Sample, out workload.ConfigOutcome) {
+			measured.Add(1)
+			s.publishPoint(req, sm, out, cm)
+		},
 	}
 	c, rep, err := r.Run(req.Grid)
+	outcome := &Outcome{Report: rep, Key: key,
+		PointsReused: int(reused.Load()), PointsMeasured: int(measured.Load())}
 	if err != nil {
-		return &Outcome{Report: rep, Key: key}, err
+		return outcome, err
 	}
+	outcome.Campaign = c
+	// Nothing measured means the whole grid came from cache — the
+	// campaign key was cold but every point was warm.
+	outcome.CacheHit = outcome.PointsMeasured == 0
 	data, err := encode(key, req.App.Name(), c, rep)
 	if err != nil {
 		// Campaigns are plain data; this cannot happen. Degrade loudly.
-		return &Outcome{Campaign: c, Report: rep, Key: key}, err
+		return outcome, err
 	}
 	s.mem.put(key, data)
-	out := &Outcome{Campaign: c, Report: rep, Key: key}
-	if s.disk != nil && !s.diskDown.Load() {
-		if err := s.disk.Store(key, data); err != nil {
-			s.diskErrs.Add(1)
-			cm.addDiskError()
-			s.diskDown.Store(true)
-			s.warnOnce.Do(func() {
-				s.logf("campaign: disk cache write failed, degrading to memory-only: %v", err)
-			})
-			return out, nil
-		}
-		s.bytes.Add(int64(len(data)))
-		cm.addBytes(int64(len(data)))
+	s.storeWrite(key, data, cm)
+	return outcome, nil
+}
+
+// loadPoint looks one (p, n) configuration up in the point cache (memory
+// first, then the store). A hit decodes and validates; anything unreadable
+// degrades to a miss and is re-measured.
+func (s *Scheduler) loadPoint(req Request, p, n int, cm cacheMetrics) (workload.Sample, workload.ConfigOutcome, bool) {
+	pk := ComputePointKey(req, p, n)
+	data, ok := s.pmem.get(pk)
+	fromStore := false
+	if !ok && s.store != nil {
+		data, ok = s.store.Load(pk)
+		fromStore = ok
 	}
-	return out, nil
+	if ok {
+		if sm, out, err := decodePoint(pk, data); err == nil {
+			if fromStore {
+				s.pmem.put(pk, data)
+				s.bytes.Add(int64(len(data)))
+				cm.addBytes(int64(len(data)))
+			}
+			s.pointHits.Add(1)
+			cm.addPointHit()
+			return sm, out, true
+		}
+	}
+	s.pointMiss.Add(1)
+	cm.addPointMiss()
+	return workload.Sample{}, workload.ConfigOutcome{}, false
+}
+
+// publishPoint stores one freshly measured configuration in the point
+// cache, making it reusable by later campaigns (and, through the store,
+// by concurrent processes) the moment it completes. Runs on pool workers.
+func (s *Scheduler) publishPoint(req Request, sm workload.Sample, out workload.ConfigOutcome, cm cacheMetrics) {
+	pk := ComputePointKey(req, out.P, out.N)
+	data, err := encodePoint(pk, appName(req.App), sm, out)
+	if err != nil {
+		return // plain data; cannot happen
+	}
+	s.pmem.put(pk, data)
+	s.storeWrite(pk, data, cm)
 }
 
 // reportAllDone mirrors a fresh run's progress stream for a cache hit: the
@@ -353,7 +489,7 @@ func (s *Scheduler) exec(ctx context.Context) workload.ExecFunc {
 // cacheMetrics resolves the cache counters once per request; without a
 // registry every field stays nil and the add methods are no-ops.
 type cacheMetrics struct {
-	hit, miss, bytes, diskErr *obs.Counter
+	hit, miss, pointHit, pointMiss, bytes, diskErr *obs.Counter
 }
 
 func newCacheMetrics(reg *obs.Registry) cacheMetrics {
@@ -361,10 +497,12 @@ func newCacheMetrics(reg *obs.Registry) cacheMetrics {
 		return cacheMetrics{}
 	}
 	return cacheMetrics{
-		hit:     reg.Counter(MetricCacheHit),
-		miss:    reg.Counter(MetricCacheMiss),
-		bytes:   reg.Counter(MetricCacheBytes),
-		diskErr: reg.Counter(MetricCacheDiskError),
+		hit:       reg.Counter(MetricCacheHit),
+		miss:      reg.Counter(MetricCacheMiss),
+		pointHit:  reg.Counter(MetricCachePointHit),
+		pointMiss: reg.Counter(MetricCachePointMiss),
+		bytes:     reg.Counter(MetricCacheBytes),
+		diskErr:   reg.Counter(MetricCacheDiskError),
 	}
 }
 
@@ -377,6 +515,18 @@ func (m cacheMetrics) addHit() {
 func (m cacheMetrics) addMiss() {
 	if m.miss != nil {
 		m.miss.Add(1)
+	}
+}
+
+func (m cacheMetrics) addPointHit() {
+	if m.pointHit != nil {
+		m.pointHit.Add(1)
+	}
+}
+
+func (m cacheMetrics) addPointMiss() {
+	if m.pointMiss != nil {
+		m.pointMiss.Add(1)
 	}
 }
 

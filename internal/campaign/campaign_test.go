@@ -208,18 +208,30 @@ func TestSchedulerDiskRoundTrip(t *testing.T) {
 	if st := s2.Stats(); st.Bytes == 0 {
 		t.Error("disk hit did not count cache_bytes")
 	}
-	// Exactly one entry file, named after the key.
+	// One campaign entry named after the key, plus one point entry per
+	// (p, n) configuration.
 	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || filepath.Base(entries[0]) != cold.Key.String()+".json" {
-		t.Errorf("cache dir = %v, want one %s.json", entries, cold.Key)
+	grid := testGrid()
+	want := 1 + len(grid.Procs)*len(grid.Ns)
+	if len(entries) != want {
+		t.Errorf("cache dir holds %d entries, want %d (1 campaign + %d points)",
+			len(entries), want, want-1)
+	}
+	found := false
+	for _, e := range entries {
+		if filepath.Base(e) == cold.Key.String()+".json" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cache dir %v is missing the campaign entry %s.json", entries, cold.Key)
 	}
 }
 
 func TestCorruptDiskEntryIsMiss(t *testing.T) {
-	dir := t.TempDir()
 	req := Request{App: testApp(t), Grid: testGrid()}
 	key := ComputeKey(req)
 
@@ -231,6 +243,10 @@ func TestCorruptDiskEntryIsMiss(t *testing.T) {
 			`","app":"Kripke","campaign":{},"report":{}}`),
 	} {
 		t.Run(name, func(t *testing.T) {
+			// A fresh dir per subtest: each one must exercise the
+			// miss-and-remeasure path, not assembly from point entries a
+			// previous subtest published.
+			dir := t.TempDir()
 			if err := os.WriteFile(filepath.Join(dir, key.String()+".json"), garbage, 0o644); err != nil {
 				t.Fatal(err)
 			}
@@ -247,7 +263,7 @@ func TestCorruptDiskEntryIsMiss(t *testing.T) {
 				t.Fatal("corrupt entry was served as a hit")
 			}
 			// The fresh result must have overwritten the corruption.
-			data, ok := s.disk.Load(key)
+			data, ok := s.store.Load(key)
 			if !ok {
 				t.Fatal("entry missing after remeasure")
 			}

@@ -65,3 +65,35 @@ func ComputeKey(req Request) Key {
 	h.Sum(k[:0])
 	return k
 }
+
+// ComputePointKey hashes everything one (p, n) measurement configuration's
+// bytes depend on: the version salt, the app name, the configuration
+// itself, the grid seed and repeat count (each repeat derives its run seed
+// from them), the canonical fault-spec string (per-run fault seeds derive
+// from the plan and the configuration), and the retry budget (it decides
+// how many attempts a failing configuration gets, which is part of the
+// recorded outcome). MinPoints is deliberately excluded — it only shapes
+// the assembled report's axis warnings, never a point's measurement — so
+// campaigns that differ only in their coverage threshold share every
+// point. The key is the atomic unit of measurement reuse: two campaigns
+// whose grids overlap share the point entries of their intersection.
+func ComputePointKey(req Request, p, n int) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "extrareq/point/v%d\n", KeyVersion)
+	fmt.Fprintf(h, "app:%s\n", appName(req.App))
+	fmt.Fprintf(h, "p:%d\nn:%d\nseed:%d\nrepeats:%d\n",
+		p, n, req.Grid.Seed, req.Grid.Repeats)
+	plan := ""
+	if req.Faults != nil && req.Faults.Active() {
+		plan = req.Faults.String()
+	}
+	fmt.Fprintf(h, "faults:%s\n", plan)
+	retries := req.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	fmt.Fprintf(h, "retries:%d\n", retries)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}

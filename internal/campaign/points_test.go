@@ -1,0 +1,515 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"extrareq/internal/apps"
+	"extrareq/internal/obs"
+	"extrareq/internal/simmpi"
+	"extrareq/internal/workload"
+)
+
+// countingApp wraps a proxy app and counts Run invocations per (p, n), so
+// tests can assert which grid points were actually measured. It reports
+// the wrapped app's name, so cache keys and campaign bytes are identical
+// to the bare app's.
+type countingApp struct {
+	apps.App
+	mu   sync.Mutex
+	runs map[[2]int]int
+}
+
+func newCountingApp(t testing.TB) *countingApp {
+	return &countingApp{App: testApp(t), runs: map[[2]int]int{}}
+}
+
+func (a *countingApp) Run(cfg apps.Config) ([]simmpi.Result, error) {
+	a.mu.Lock()
+	a.runs[[2]int{cfg.Procs, cfg.N}]++
+	a.mu.Unlock()
+	return a.App.Run(cfg)
+}
+
+// count returns the number of Run calls at (p, n).
+func (a *countingApp) count(p, n int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.runs[[2]int{p, n}]
+}
+
+func TestComputePointKeySensitivity(t *testing.T) {
+	app := testApp(t)
+	base := Request{App: app, Grid: testGrid(), Retries: 2, MinPoints: 5}
+	k0 := ComputePointKey(base, 2, 64)
+	if k0 != ComputePointKey(base, 2, 64) {
+		t.Fatal("same point hashed to different keys")
+	}
+	if ComputePointKey(base, 4, 64) == k0 || ComputePointKey(base, 2, 128) == k0 {
+		t.Error("changing p or n did not change the point key")
+	}
+
+	perturb := map[string]Request{}
+	r := base
+	r.Grid.Seed = 8
+	perturb["seed"] = r
+	r = base
+	r.Grid.Repeats = 3
+	perturb["repeats"] = r
+	r = base
+	r.Retries = 3
+	perturb["retries"] = r
+	r = base
+	r.Faults = &simmpi.FaultPlan{Seed: 1, KillRank: -1, Drop: 0.5}
+	perturb["faults"] = r
+	for name, req := range perturb {
+		if ComputePointKey(req, 2, 64) == k0 {
+			t.Errorf("changing %s did not change the point key", name)
+		}
+	}
+
+	// MinPoints only shapes the report's axis warnings, never a point's
+	// measurement: campaigns differing only there must share points. The
+	// grid axes likewise don't matter beyond the point itself.
+	r = base
+	r.MinPoints = 3
+	if ComputePointKey(r, 2, 64) != k0 {
+		t.Error("MinPoints changed the point key; overlapping campaigns would stop sharing points")
+	}
+	r = base
+	r.Grid.Procs = []int{2, 8}
+	r.Grid.Ns = []int{64, 999}
+	if ComputePointKey(r, 2, 64) != k0 {
+		t.Error("unrelated grid axis values changed the point key")
+	}
+	r = base
+	r.Metrics = obs.NewRegistry()
+	if ComputePointKey(r, 2, 64) != k0 {
+		t.Error("metrics registry changed the point key")
+	}
+	// Point keys and campaign keys must never collide (distinct domain
+	// prefixes).
+	if ComputePointKey(base, 2, 64) == ComputeKey(base) {
+		t.Error("point key collided with campaign key")
+	}
+}
+
+// The headline guarantee: a campaign whose grid overlaps a previously
+// cached campaign re-measures only the non-overlapping points, and its
+// outcome is byte-identical to a cold run of the same grid.
+func TestOverlapReusesPoints(t *testing.T) {
+	app := newCountingApp(t)
+	s, err := New(Options{Workers: 4, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	gridA := workload.Grid{Procs: []int{2, 4}, Ns: []int{64, 128}, Seed: 7, Repeats: 2}
+	if _, err := s.Run(context.Background(), Request{App: app, Grid: gridA}); err != nil {
+		t.Fatalf("campaign A: %v", err)
+	}
+	runsPerPoint := gridA.Repeats // healthy runs: one attempt, Repeats runs
+	for _, p := range gridA.Procs {
+		for _, n := range gridA.Ns {
+			if got := app.count(p, n); got != runsPerPoint {
+				t.Fatalf("campaign A measured (%d,%d) %d times, want %d", p, n, got, runsPerPoint)
+			}
+		}
+	}
+
+	// Campaign B shares the n=128 column with A and adds n=256.
+	gridB := workload.Grid{Procs: []int{2, 4}, Ns: []int{128, 256}, Seed: 7, Repeats: 2}
+	reg := obs.NewRegistry()
+	outB, err := s.Run(context.Background(), Request{App: app, Grid: gridB, Metrics: reg})
+	if err != nil {
+		t.Fatalf("campaign B: %v", err)
+	}
+	if outB.CacheHit {
+		t.Error("partially overlapping campaign reported a full cache hit")
+	}
+	if outB.PointsReused != 2 || outB.PointsMeasured != 2 {
+		t.Errorf("campaign B reused %d / measured %d points, want 2 / 2",
+			outB.PointsReused, outB.PointsMeasured)
+	}
+	// The shared points were never re-executed; the novel ones ran once.
+	for _, p := range gridB.Procs {
+		if got := app.count(p, 128); got != runsPerPoint {
+			t.Errorf("shared point (%d,128) measured %d times total, want %d (exactly once)",
+				p, got, runsPerPoint)
+		}
+		if got := app.count(p, 256); got != runsPerPoint {
+			t.Errorf("novel point (%d,256) measured %d times, want %d", p, got, runsPerPoint)
+		}
+	}
+	counters := reg.Snapshot().Counters
+	if counters[MetricCachePointHit] != 2 || counters[MetricCachePointMiss] != 2 {
+		t.Errorf("point counters = hit %d / miss %d, want 2 / 2",
+			counters[MetricCachePointHit], counters[MetricCachePointMiss])
+	}
+
+	// Byte-identical to a cold run of the same grid on a cacheless
+	// scheduler.
+	cold, err := New(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	outCold, err := cold.Run(context.Background(), Request{App: testApp(t), Grid: gridB})
+	if err != nil {
+		t.Fatalf("cold campaign B: %v", err)
+	}
+	if !bytes.Equal(mustJSON(t, outCold.Campaign), mustJSON(t, outB.Campaign)) {
+		t.Error("assembled campaign is not byte-identical to the cold run")
+	}
+	if !bytes.Equal(mustJSON(t, outCold.Report), mustJSON(t, outB.Report)) {
+		t.Error("assembled report is not byte-identical to the cold run")
+	}
+
+	// A rerun of B now hits its own campaign entry without consulting
+	// points.
+	again, err := s.Run(context.Background(), Request{App: app, Grid: gridB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.PointsMeasured != 0 {
+		t.Errorf("rerun of B: CacheHit=%v PointsMeasured=%d, want campaign-level hit",
+			again.CacheHit, again.PointsMeasured)
+	}
+}
+
+// A grid that is a strict subset of an already measured campaign is
+// assembled entirely from point entries: nothing runs, the outcome counts
+// as a cache hit, and progress reports the whole grid done at once.
+func TestSubsetGridAssemblesWithoutMeasuring(t *testing.T) {
+	app := newCountingApp(t)
+	s, err := New(Options{Workers: 4, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	gridA := workload.Grid{Procs: []int{2, 4}, Ns: []int{64, 128}, Seed: 7}
+	if _, err := s.Run(context.Background(), Request{App: app, Grid: gridA}); err != nil {
+		t.Fatal(err)
+	}
+	runsA := app.count(2, 64) + app.count(4, 64) + app.count(2, 128) + app.count(4, 128)
+
+	var progress [][2]int
+	sub := workload.Grid{Procs: []int{2}, Ns: []int{64, 128}, Seed: 7}
+	out, err := s.Run(context.Background(), Request{App: app, Grid: sub,
+		Progress: func(done, total int) { progress = append(progress, [2]int{done, total}) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.CacheHit {
+		t.Error("fully assembled subset campaign did not count as a cache hit")
+	}
+	if out.PointsReused != 2 || out.PointsMeasured != 0 {
+		t.Errorf("subset reused %d / measured %d, want 2 / 0", out.PointsReused, out.PointsMeasured)
+	}
+	if got := app.count(2, 64) + app.count(4, 64) + app.count(2, 128) + app.count(4, 128); got != runsA {
+		t.Errorf("subset campaign re-executed measurements (%d runs, was %d)", got, runsA)
+	}
+	if len(progress) != 1 || progress[0] != [2]int{2, 2} {
+		t.Errorf("progress = %v, want one (2, 2) call", progress)
+	}
+
+	// Byte-identity against a cold run of the subset grid.
+	cold, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	outCold, err := cold.Run(context.Background(), Request{App: testApp(t), Grid: sub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, outCold.Campaign), mustJSON(t, out.Campaign)) {
+		t.Error("subset assembly is not byte-identical to a cold run")
+	}
+	if !bytes.Equal(mustJSON(t, outCold.Report), mustJSON(t, out.Report)) {
+		t.Error("subset report is not byte-identical to a cold run")
+	}
+}
+
+// Point reuse must respect the key ingredients: a different seed, repeat
+// count, retry budget, or fault plan shares nothing.
+func TestOverlapDifferentSeedSharesNothing(t *testing.T) {
+	app := newCountingApp(t)
+	s, err := New(Options{Workers: 4, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	grid := workload.Grid{Procs: []int{2, 4}, Ns: []int{64, 128}, Seed: 7}
+	if _, err := s.Run(context.Background(), Request{App: app, Grid: grid}); err != nil {
+		t.Fatal(err)
+	}
+	grid.Seed = 8
+	out, err := s.Run(context.Background(), Request{App: app, Grid: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PointsReused != 0 || out.PointsMeasured != 4 {
+		t.Errorf("different seed reused %d / measured %d points, want 0 / 4",
+			out.PointsReused, out.PointsMeasured)
+	}
+}
+
+// A stale-version point entry is invalidated exactly like a stale campaign
+// entry: the load degrades to a miss and the point is re-measured and
+// overwritten.
+func TestStalePointEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	app := newCountingApp(t)
+	req := Request{App: app, Grid: workload.Grid{Procs: []int{2}, Ns: []int{64}, Seed: 7}}
+	pk := ComputePointKey(req, 2, 64)
+	stale := `{"version":0,"key":"` + pk.String() + `","app":"Kripke",` +
+		`"sample":{"p":2,"n":64,"values":{"flops":1}},"outcome":{"p":2,"n":64,"attempts":1}}`
+	if err := os.WriteFile(filepath.Join(dir, pk.String()+".json"), []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Workers: 2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	out, err := s.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PointsReused != 0 || out.PointsMeasured != 1 {
+		t.Errorf("stale point entry was reused (reused %d / measured %d)",
+			out.PointsReused, out.PointsMeasured)
+	}
+	data, ok := s.store.Load(pk)
+	if !ok {
+		t.Fatal("point entry missing after remeasure")
+	}
+	if _, _, err := decodePoint(pk, data); err != nil {
+		t.Errorf("rewritten point entry does not decode: %v", err)
+	}
+}
+
+// Cross-process sharding (emulated by two Schedulers with disjoint memory
+// sharing one store directory): overlapping grids running concurrently
+// measure every shared point at most once across both processes, and the
+// final reports are byte-identical to single cold runs.
+func TestCrossProcessSharding(t *testing.T) {
+	dir := t.TempDir()
+	app1, app2 := newCountingApp(t), newCountingApp(t)
+	s1, err := New(Options{Workers: 2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := New(Options{Workers: 2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	// G1 seeds the shared store. G2 and G3 then run concurrently on the
+	// two schedulers; their mutual overlap (the n=64 column) is contained
+	// in G1, so every shared point already has an entry and must never be
+	// measured again — by either process.
+	g1 := workload.Grid{Procs: []int{2, 4}, Ns: []int{64, 128}, Seed: 7}
+	g2 := workload.Grid{Procs: []int{2, 4}, Ns: []int{64, 192}, Seed: 7}
+	g3 := workload.Grid{Procs: []int{2, 4}, Ns: []int{64, 256}, Seed: 7}
+	if _, err := s1.Run(context.Background(), Request{App: app1, Grid: g1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var out2, out3 *Outcome
+	var err2, err3 error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		out2, err2 = s1.Run(context.Background(), Request{App: app1, Grid: g2})
+	}()
+	go func() {
+		defer wg.Done()
+		out3, err3 = s2.Run(context.Background(), Request{App: app2, Grid: g3})
+	}()
+	wg.Wait()
+	if err2 != nil || err3 != nil {
+		t.Fatalf("concurrent runs: %v / %v", err2, err3)
+	}
+	if out2.PointsReused != 2 || out2.PointsMeasured != 2 {
+		t.Errorf("G2 reused %d / measured %d, want 2 / 2", out2.PointsReused, out2.PointsMeasured)
+	}
+	if out3.PointsReused != 2 || out3.PointsMeasured != 2 {
+		t.Errorf("G3 reused %d / measured %d, want 2 / 2", out3.PointsReused, out3.PointsMeasured)
+	}
+	// Every point across both schedulers was measured at most once: the
+	// n=64 column only during G1, each novel column only by its own run.
+	total := func(p, n int) int { return app1.count(p, n) + app2.count(p, n) }
+	for _, p := range []int{2, 4} {
+		for _, n := range []int{64, 128, 192, 256} {
+			if got := total(p, n); got > 1 {
+				t.Errorf("point (%d,%d) measured %d times across processes, want at most 1", p, n, got)
+			}
+		}
+		if total(p, 64) != 1 {
+			t.Errorf("shared point (%d,64) measured %d times, want exactly 1 (during G1)", p, total(p, 64))
+		}
+	}
+
+	// Reports byte-identical to single cold runs of the same grids.
+	cold, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	for _, tc := range []struct {
+		grid workload.Grid
+		out  *Outcome
+	}{{g2, out2}, {g3, out3}} {
+		want, err := cold.Run(context.Background(), Request{App: testApp(t), Grid: tc.grid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mustJSON(t, want.Campaign), mustJSON(t, tc.out.Campaign)) {
+			t.Errorf("sharded campaign over %v differs from cold run", tc.grid.Ns)
+		}
+		if !bytes.Equal(mustJSON(t, want.Report), mustJSON(t, tc.out.Report)) {
+			t.Errorf("sharded report over %v differs from cold run", tc.grid.Ns)
+		}
+	}
+}
+
+// failWriteStore wraps a Store and fails writes on demand, while reads
+// keep working — the shape of a full disk.
+type failWriteStore struct {
+	inner Store
+	fail  bool
+}
+
+func (s *failWriteStore) Load(k Key) ([]byte, bool) { return s.inner.Load(k) }
+
+func (s *failWriteStore) Store(k Key, data []byte) error {
+	if s.fail {
+		return errors.New("injected: no space left on device")
+	}
+	return s.inner.Store(k, data)
+}
+
+func (s *failWriteStore) Sync() error { return s.inner.Sync() }
+
+// Regression test for the diskDown latch gating reads: a write failure
+// must degrade writes only. Entries already on disk keep serving Lookup
+// and the Run read path for the rest of the scheduler's life.
+func TestWriteFailureKeepsServingDiskReads(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{App: testApp(t), Grid: testGrid()}
+	key := ComputeKey(req)
+
+	// Populate the directory from a healthy scheduler.
+	s1, err := New(Options{Workers: 2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s1.Run(context.Background(), req)
+	s1.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second scheduler over the same directory, writes broken.
+	disk, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &failWriteStore{inner: disk, fail: true}
+	var warnings int
+	s2, err := New(Options{Workers: 2, Store: fs,
+		Logf: func(string, ...any) { warnings++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	// Trip the write-degrade latch with a distinct campaign.
+	other := req
+	other.Grid.Seed = 99
+	if _, err := s2.Run(context.Background(), other); err != nil {
+		t.Fatalf("run with failing writes: %v", err)
+	}
+	if st := s2.Stats(); st.DiskErrors != 1 {
+		t.Fatalf("DiskErrors = %d, want 1", st.DiskErrors)
+	}
+	if warnings != 1 {
+		t.Fatalf("warned %d times, want exactly 1", warnings)
+	}
+
+	// The latch must not gate reads: the pre-existing disk entry still
+	// hits, through Lookup and through Run.
+	if _, ok := s2.Lookup(key); !ok {
+		t.Error("Lookup of a pre-existing disk entry missed after a write failure")
+	}
+	warm, err := s2.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Error("Run of a pre-existing disk entry re-measured after a write failure")
+	}
+	if !bytes.Equal(mustJSON(t, cold.Campaign), mustJSON(t, warm.Campaign)) {
+		t.Error("disk hit after write degrade is not byte-identical")
+	}
+	// Still only the one write error — later writes are skipped silently.
+	if st := s2.Stats(); st.DiskErrors != 1 {
+		t.Errorf("DiskErrors after warm reads = %d, want still 1", st.DiskErrors)
+	}
+}
+
+// OpenDiskStore must reap stale temp files left by crashed writers — and
+// only those: entries, fresh temps (a live writer may own them), and
+// unrelated files stay.
+func TestOpenDiskStoreReapsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	hexKey := strings.Repeat("ab", 32)
+	old := time.Now().Add(-2 * tmpReapAge)
+	write := func(name string, stale bool) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if stale {
+			if err := os.Chtimes(path, old, old); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return path
+	}
+	staleTmp := write("."+hexKey+".tmp-123456789", true)
+	staleTmp2 := write("."+strings.Repeat("cd", 32)+".tmp-42", true)
+	freshTmp := write("."+hexKey+".tmp-777", false)
+	entry := write(hexKey+".json", true)
+	unrelated := write(".notakey.tmp-1", true) // wrong stem: not ours
+	dotfile := write(".gitignore", true)
+
+	if _, err := OpenDiskStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, gone := range []string{staleTmp, staleTmp2} {
+		if _, err := os.Stat(gone); !os.IsNotExist(err) {
+			t.Errorf("stale temp %s survived the sweep", filepath.Base(gone))
+		}
+	}
+	for _, kept := range []string{freshTmp, entry, unrelated, dotfile} {
+		if _, err := os.Stat(kept); err != nil {
+			t.Errorf("sweep removed %s, which is not a stale temp", filepath.Base(kept))
+		}
+	}
+}

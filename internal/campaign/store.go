@@ -6,10 +6,34 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sync"
+	"time"
 
 	"extrareq/internal/workload"
 )
+
+// Store is the persistence seam of the Scheduler: a content-addressed blob
+// store keyed by campaign and point keys. Implementations must be safe for
+// concurrent use from multiple goroutines, tolerate concurrent writers of
+// the same key (keys are content hashes, so racing writers carry identical
+// bytes), and degrade unreadable entries to ok=false misses rather than
+// errors — the Scheduler re-measures and overwrites on a miss. DiskStore
+// is the default implementation; its shared-directory layout (one file per
+// key, atomic rename) is additionally safe for multiple *processes*
+// pointed at one directory, which is how N reqserve/CLI instances shard a
+// campaign's points between them.
+type Store interface {
+	// Load returns the stored bytes for k, or ok=false when the entry is
+	// absent or unreadable.
+	Load(k Key) (data []byte, ok bool)
+	// Store persists the entry durably under k, atomically with respect to
+	// concurrent Loads of the same key.
+	Store(k Key, data []byte) error
+	// Sync forces completed writes durable; drain paths call it once more
+	// before exit.
+	Sync() error
+}
 
 // Cache entry encoding. A single JSON document carries both the campaign
 // and its report, prefixed with the format version and its own key so a
@@ -33,6 +57,52 @@ func encode(key Key, app string, c *workload.Campaign, rep *workload.CampaignRep
 		Campaign: c,
 		Report:   rep,
 	})
+}
+
+// pointEntry is the cache representation of one measured (p, n)
+// configuration: the sample (zero for quarantined configurations) and the
+// full outcome (attempts, errors, quarantine), so an assembled campaign
+// report is byte-identical to one that measured the point itself. Like the
+// campaign entry it embeds the format version and its own key, so a load
+// can prove the file is what the name claims.
+type pointEntry struct {
+	Version int                    `json:"version"`
+	Key     string                 `json:"key"`
+	App     string                 `json:"app"`
+	Sample  workload.Sample        `json:"sample"`
+	Outcome workload.ConfigOutcome `json:"outcome"`
+}
+
+// encodePoint marshals one measured configuration into its cache
+// representation.
+func encodePoint(key Key, app string, s workload.Sample, out workload.ConfigOutcome) ([]byte, error) {
+	return json.Marshal(&pointEntry{
+		Version: KeyVersion,
+		Key:     key.String(),
+		App:     app,
+		Sample:  s,
+		Outcome: out,
+	})
+}
+
+// decodePoint unmarshals a point entry and validates it against the key
+// that addressed it; any mismatch is treated as a miss by the Scheduler,
+// which then measures the point afresh.
+func decodePoint(key Key, data []byte) (workload.Sample, workload.ConfigOutcome, error) {
+	var e pointEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return workload.Sample{}, workload.ConfigOutcome{}, fmt.Errorf("campaign: corrupt point entry: %w", err)
+	}
+	if e.Version != KeyVersion {
+		return workload.Sample{}, workload.ConfigOutcome{}, fmt.Errorf("campaign: point entry version %d, want %d", e.Version, KeyVersion)
+	}
+	if e.Key != key.String() {
+		return workload.Sample{}, workload.ConfigOutcome{}, fmt.Errorf("campaign: point entry key %s does not match %s", e.Key, key)
+	}
+	if !e.Outcome.Quarantined && e.Sample.Values == nil {
+		return workload.Sample{}, workload.ConfigOutcome{}, fmt.Errorf("campaign: point entry missing sample values")
+	}
+	return e.Sample, e.Outcome, nil
 }
 
 // Decode unmarshals a marshaled cache entry (as returned by
@@ -68,14 +138,51 @@ func decode(key Key, data []byte) (*workload.Campaign, *workload.CampaignReport,
 // by an atomic rename, so a crash can leave stale temp files but never a
 // half-written entry; loads of files that fail to decode are treated as
 // misses by the Scheduler, which then overwrites them with a fresh entry.
+//
+// The layout is safe for any number of writer processes sharing one
+// directory: every entry is keyed by a content hash, so two processes
+// racing on the same key rename byte-identical files over each other, and
+// readers only ever observe complete entries. Point entries published
+// mid-campaign (Scheduler assembly) land here one file at a time, which is
+// what lets concurrent processes shard one campaign's points.
 type DiskStore struct {
 	dir string
 }
 
-// OpenDiskStore creates dir (and parents) if needed and returns the store.
+// tmpPattern matches the temp files Store creates ("." + 64-hex key +
+// ".tmp-" + CreateTemp's random suffix). OpenDiskStore reaps stale
+// matches: a crash between CreateTemp and rename leaves them behind, and
+// nothing else ever removes them from a long-lived cache directory.
+var tmpPattern = regexp.MustCompile(`^\.[0-9a-f]{64}\.tmp-[0-9]+$`)
+
+// tmpReapAge is how old a temp file must be before OpenDiskStore removes
+// it. A healthy writer holds a temp file for milliseconds (write, fsync,
+// rename), so anything this old is wreckage from a crash — while a
+// freshly created temp may belong to a live writer process sharing the
+// directory, whose rename must not be sabotaged by a sweeping opener. A
+// variable so tests can reap immediately.
+var tmpReapAge = time.Hour
+
+// OpenDiskStore creates dir (and parents) if needed, sweeps stale temp
+// files left by crashed writers, and returns the store. The sweep removes
+// only files matching the store's own temp-name pattern and older than
+// tmpReapAge; entries, unrelated files, and temps a live writer process
+// may still own are never touched. Sweep failures are ignored — reaping
+// is hygiene, not correctness.
 func OpenDiskStore(dir string) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: cache dir: %w", err)
+	}
+	if names, err := os.ReadDir(dir); err == nil {
+		cutoff := time.Now().Add(-tmpReapAge)
+		for _, de := range names {
+			if de.IsDir() || !tmpPattern.MatchString(de.Name()) {
+				continue
+			}
+			if info, err := de.Info(); err == nil && info.ModTime().Before(cutoff) {
+				os.Remove(filepath.Join(dir, de.Name()))
+			}
+		}
 	}
 	return &DiskStore{dir: dir}, nil
 }

@@ -47,7 +47,9 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Pprof, "pprof", "",
 		"serve net/http/pprof on this address (e.g. localhost:6060 or :0)")
 	fs.StringVar(&f.CacheDir, "cache-dir", "",
-		"persist measured campaigns in this directory and serve byte-identical repeats from it")
+		"persist measured campaigns and per-point results in this directory and serve "+
+			"byte-identical repeats from it; safe to share between concurrent processes, "+
+			"which then split overlapping grids between them")
 	fs.BoolVar(&f.CacheStats, "cache-stats", false,
 		"print campaign cache hit/miss/byte counters to stderr at exit")
 }
@@ -142,8 +144,8 @@ func (f *Flags) Finish(errw io.Writer, prog string, reports []*extrareq.Campaign
 	}
 	if f.CacheStats && f.reg != nil {
 		c := f.reg.Snapshot().Counters
-		fmt.Fprintf(errw, "%s: campaign cache: %d hits, %d misses, %d bytes on disk traffic\n",
-			prog, c["cache_hit"], c["cache_miss"], c["cache_bytes"])
+		fmt.Fprintf(errw, "%s: campaign cache: %d hits, %d misses, %d point hits, %d point misses, %d bytes on disk traffic\n",
+			prog, c["cache_hit"], c["cache_miss"], c["cache_point_hit"], c["cache_point_miss"], c["cache_bytes"])
 	}
 	return nil
 }

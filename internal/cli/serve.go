@@ -36,7 +36,9 @@ func (f *ServeFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.Workers, "workers", 0,
 		"scheduler worker pool size shared by all campaigns (0 = GOMAXPROCS)")
 	fs.StringVar(&f.CacheDir, "cache-dir", "",
-		"persist measured campaigns in this directory and serve byte-identical repeats from it")
+		"persist measured campaigns and per-point results in this directory and serve "+
+			"byte-identical repeats from it; point a fleet of reqserve instances at one "+
+			"shared directory and they shard overlapping grids between them")
 	fs.IntVar(&f.Queue, "queue", serve.DefaultQueue,
 		"max admitted unfinished campaigns; further distinct submissions are shed with 503")
 	fs.Float64Var(&f.TenantRate, "tenant-rate", 0,

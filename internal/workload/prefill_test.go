@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"sync"
+	"testing"
+
+	"extrareq/internal/apps"
+	"extrareq/internal/simmpi"
+	"extrareq/internal/trace"
+)
+
+// Prefilled configurations must be trusted verbatim: the assembled
+// campaign and report are byte-identical to a run that measured every
+// point itself, measurement happens only for the missing points, OnConfig
+// announces only fresh results, and progress counts the prefilled points
+// as instantly done.
+func TestPrefillAssemblesByteIdenticalCampaign(t *testing.T) {
+	grid := Grid{Procs: []int{2, 4}, Ns: []int{32, 64}, Seed: 42, Repeats: 2}
+
+	// Reference: a full run, harvesting every per-config result.
+	type point struct {
+		s   Sample
+		out ConfigOutcome
+	}
+	harvest := map[[2]int]point{}
+	var mu sync.Mutex
+	ref := &ResilientRunner{
+		App: ringApp{},
+		OnConfig: func(s Sample, out ConfigOutcome) {
+			mu.Lock()
+			harvest[[2]int{out.P, out.N}] = point{s, out}
+			mu.Unlock()
+		},
+	}
+	wantC, wantRep, err := ref.Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(harvest) != 4 {
+		t.Fatalf("harvested %d configs, want 4", len(harvest))
+	}
+
+	// Assembly: half the grid (everything at n=32) prefilled from the
+	// harvest, the rest measured.
+	var prefillAsked, fresh [][2]int
+	var dones []int
+	r := &ResilientRunner{
+		App: ringApp{},
+		Prefill: func(p, n int) (Sample, ConfigOutcome, bool) {
+			prefillAsked = append(prefillAsked, [2]int{p, n})
+			if n != 32 {
+				return Sample{}, ConfigOutcome{}, false
+			}
+			pt := harvest[[2]int{p, n}]
+			return pt.s, pt.out, true
+		},
+		OnConfig: func(s Sample, out ConfigOutcome) {
+			mu.Lock()
+			fresh = append(fresh, [2]int{out.P, out.N})
+			mu.Unlock()
+		},
+		Progress: func(done, total int) {
+			mu.Lock()
+			dones = append(dones, done)
+			mu.Unlock()
+			if total != 4 {
+				t.Errorf("progress total = %d, want 4", total)
+			}
+		},
+	}
+	gotC, gotRep, err := r.Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mustEqualJSON := func(what string, a, b any) {
+		t.Helper()
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if !bytes.Equal(aj, bj) {
+			t.Errorf("%s differs:\nfull:      %s\nassembled: %s", what, aj, bj)
+		}
+	}
+	mustEqualJSON("campaign", wantC, gotC)
+	mustEqualJSON("report", wantRep, gotRep)
+
+	if len(prefillAsked) != 4 {
+		t.Errorf("Prefill consulted %d times, want once per config (4)", len(prefillAsked))
+	}
+	sort.Slice(fresh, func(i, j int) bool {
+		return fresh[i][0] < fresh[j][0] || (fresh[i][0] == fresh[j][0] && fresh[i][1] < fresh[j][1])
+	})
+	want := [][2]int{{2, 64}, {4, 64}}
+	if len(fresh) != 2 || fresh[0] != want[0] || fresh[1] != want[1] {
+		t.Errorf("OnConfig saw %v, want exactly the non-prefilled configs %v", fresh, want)
+	}
+	// Progress: one leading callback covering the 2 prefilled configs,
+	// then one per measured config, reaching the total exactly once.
+	sort.Ints(dones)
+	if len(dones) != 3 || dones[0] != 2 || dones[1] != 3 || dones[2] != 4 {
+		t.Errorf("progress done values = %v, want [2 3 4]", dones)
+	}
+}
+
+// A fully prefilled grid must run nothing — no measurement, no locality
+// probes — and still report complete progress.
+func TestPrefillFullGridRunsNothing(t *testing.T) {
+	grid := Grid{Procs: []int{2, 4}, Ns: []int{32, 64}, Seed: 42}
+	harvest := map[[2]int]Sample{}
+	var mu sync.Mutex
+	ref := &ResilientRunner{App: ringApp{}, OnConfig: func(s Sample, out ConfigOutcome) {
+		mu.Lock()
+		harvest[[2]int{out.P, out.N}] = s
+		mu.Unlock()
+	}}
+	wantC, wantRep, err := ref.Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var dones []int
+	r := &ResilientRunner{
+		App: probelessApp{},
+		Prefill: func(p, n int) (Sample, ConfigOutcome, bool) {
+			return harvest[[2]int{p, n}], ConfigOutcome{P: p, N: n, Attempts: 1}, true
+		},
+		OnConfig: func(Sample, ConfigOutcome) { t.Error("OnConfig fired on a fully prefilled grid") },
+		Progress: func(done, total int) { dones = append(dones, done) },
+	}
+	gotC, gotRep, err := r.Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(wantC)
+	b, _ := json.Marshal(gotC)
+	if !bytes.Equal(a, b) {
+		t.Error("fully prefilled campaign differs from measured campaign")
+	}
+	a, _ = json.Marshal(wantRep)
+	b, _ = json.Marshal(gotRep)
+	if !bytes.Equal(a, b) {
+		t.Error("fully prefilled report differs from measured report")
+	}
+	if len(dones) != 1 || dones[0] != 4 {
+		t.Errorf("progress calls = %v, want one (4, 4) call", dones)
+	}
+}
+
+// probelessApp panics if its measurement or locality paths are touched; a
+// fully prefilled run must need neither. It carries ringApp's name so the
+// assembled campaign matches the reference bytes.
+type probelessApp struct{}
+
+func (probelessApp) Name() string { return ringApp{}.Name() }
+
+func (probelessApp) Run(cfg apps.Config) ([]simmpi.Result, error) {
+	panic("Run called on a fully prefilled grid")
+}
+
+func (probelessApp) LocalityProbe(n int, rec trace.Recorder) {
+	panic("LocalityProbe called on a fully prefilled grid")
+}

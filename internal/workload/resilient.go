@@ -80,8 +80,26 @@ type ResilientRunner struct {
 	// workers but done is unique per call and reaches total exactly once;
 	// servers use this to answer progress polls for long campaigns. The
 	// callback runs on the measurement path, so it must be cheap and must
-	// not block.
+	// not block. Configurations supplied by Prefill are counted as
+	// instantly done: one leading Progress call covers all of them before
+	// any measurement starts.
 	Progress func(done, total int)
+	// Prefill, when non-nil, is consulted once per grid configuration
+	// before any measurement. Returning ok=true supplies that
+	// configuration's sample and outcome without running anything — the
+	// point-level campaign cache uses this to measure only the points a
+	// previous campaign did not already cover. Prefilled results must be
+	// what a fresh measurement would have produced (the runner trusts them
+	// verbatim when assembling the campaign and report). Prefill is called
+	// serially from Run, in grid (p-major, n-minor) order.
+	Prefill func(p, n int) (Sample, ConfigOutcome, bool)
+	// OnConfig, when non-nil, receives every freshly measured
+	// configuration's result the moment it completes (prefilled
+	// configurations are not re-announced). Calls may arrive concurrently
+	// from workers; the point cache uses this to publish per-point entries
+	// while the campaign is still running, so other processes sharing the
+	// store can reuse them immediately.
+	OnConfig func(s Sample, out ConfigOutcome)
 }
 
 // Resilience defaults.
@@ -381,18 +399,6 @@ func (r *ResilientRunner) Run(grid Grid) (*Campaign, *CampaignReport, error) {
 		return nil, nil, err
 	}
 
-	// Locality probes run outside the simulated MPI runtime and are not
-	// subject to injected faults (the paper measured them on a separate
-	// system, §III).
-	stackByN := map[int]float64{}
-	for _, n := range grid.Ns {
-		an := locality.NewAnalyzer()
-		an.MaxSamplesPerGroup = probeCap
-		r.App.LocalityProbe(n, an)
-		groups := locality.FilterGroups(an.Groups(), locality.DefaultMinSamples)
-		stackByN[n] = locality.MedianStackDistance(groups)
-	}
-
 	type config struct{ p, n int }
 	var configs []config
 	for _, p := range grid.Procs {
@@ -400,24 +406,74 @@ func (r *ResilientRunner) Run(grid Grid) (*Campaign, *CampaignReport, error) {
 			configs = append(configs, config{p, n})
 		}
 	}
+	samples := make([]Sample, len(configs))
+	outcomes := make([]ConfigOutcome, len(configs))
+
+	// Prefill first: configurations a point cache already covers are
+	// slotted in verbatim and never measured, so a campaign overlapping a
+	// previous one pays only for its novel points.
+	var missing []int
+	if r.Prefill == nil {
+		missing = make([]int, len(configs))
+		for i := range configs {
+			missing[i] = i
+		}
+	} else {
+		for i, c := range configs {
+			if s, out, ok := r.Prefill(c.p, c.n); ok {
+				samples[i], outcomes[i] = s, out
+				continue
+			}
+			missing = append(missing, i)
+		}
+	}
+	prefilled := len(configs) - len(missing)
+
+	// Locality probes run outside the simulated MPI runtime and are not
+	// subject to injected faults (the paper measured them on a separate
+	// system, §III). Only problem sizes that still need measurement are
+	// probed — a fully prefilled n carries its stack distance inside the
+	// cached samples.
+	neededN := map[int]bool{}
+	for _, i := range missing {
+		neededN[configs[i].n] = true
+	}
+	stackByN := map[int]float64{}
+	for _, n := range grid.Ns {
+		if !neededN[n] {
+			continue
+		}
+		an := locality.NewAnalyzer()
+		an.MaxSamplesPerGroup = probeCap
+		r.App.LocalityProbe(n, an)
+		groups := locality.FilterGroups(an.Groups(), locality.DefaultMinSamples)
+		stackByN[n] = locality.MedianStackDistance(groups)
+	}
+
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(configs) {
-		workers = len(configs)
+	if workers > len(missing) {
+		workers = len(missing)
 	}
-	samples := make([]Sample, len(configs))
-	outcomes := make([]ConfigOutcome, len(configs))
 	cm := newCampaignMetrics(r.Metrics)
 	exec := r.Exec
 	if exec == nil {
 		exec = ownPoolExec(workers, r.App.Name())
 	}
 	var finished atomic.Int64
-	if err := exec(len(configs), func(i int) {
+	finished.Store(int64(prefilled))
+	if r.Progress != nil && prefilled > 0 {
+		r.Progress(prefilled, len(configs))
+	}
+	if err := exec(len(missing), func(j int) {
+		i := missing[j]
 		p, n := configs[i].p, configs[i].n
 		samples[i], outcomes[i] = r.measureConfig(grid, p, n, stackByN[n], cm)
+		if r.OnConfig != nil {
+			r.OnConfig(samples[i], outcomes[i])
+		}
 		if r.Progress != nil {
 			r.Progress(int(finished.Add(1)), len(configs))
 		}

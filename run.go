@@ -34,8 +34,9 @@ type Result struct {
 	// Report accounts for retries, quarantine, and surviving coverage.
 	// Consult Report.Degraded before trusting the models.
 	Report *CampaignReport
-	// CacheHit reports that the campaign was served from the cache
-	// (WithCache) instead of being measured.
+	// CacheHit reports that the campaign was served entirely from the
+	// cache (WithCache) — a stored campaign entry or a full assembly from
+	// stored points — instead of measuring anything.
 	CacheHit bool
 }
 
@@ -90,10 +91,13 @@ func WithObservability(reg *MetricsRegistry, tr *Tracer) Option {
 	}
 }
 
-// WithCache persists finished campaigns under dir (created if absent) and
-// serves byte-identical repeats from it. Corrupt or stale entries degrade
-// to cache misses; entries are invalidated wholesale when the cache format
-// version changes.
+// WithCache persists finished campaigns — and every measured (p, n) point
+// individually — under dir (created if absent) and serves byte-identical
+// repeats from it. A campaign that only overlaps a cached one reuses the
+// shared points and measures the rest; the directory is safe to share
+// between concurrent processes, which then shard overlapping grids
+// between them. Corrupt or stale entries degrade to cache misses; entries
+// are invalidated wholesale when the cache format version changes.
 func WithCache(dir string) Option {
 	return func(c *runConfig) { c.cacheDir = dir }
 }

@@ -70,13 +70,20 @@ func run(args []string, errw io.Writer, sigs <-chan os.Signal) int {
 		return 1
 	}
 
-	sched, err := campaign.New(flags.SchedulerOptions(logf))
+	reg := obs.NewRegistry()
+	schedOpts, storeCleanup, err := flags.SchedulerOptions(reg, logf)
+	if err != nil {
+		logf("reqserve: store: %v", err)
+		return 1
+	}
+	defer storeCleanup()
+	sched, err := campaign.New(schedOpts)
 	if err != nil {
 		logf("reqserve: scheduler: %v", err)
 		return 1
 	}
 	defer sched.Close()
-	srv, err := serve.New(flags.ServerOptions(sched, obs.NewRegistry(), logf))
+	srv, err := serve.New(flags.ServerOptions(sched, reg, logf))
 	if err != nil {
 		logf("reqserve: %v", err)
 		return 1

@@ -37,6 +37,7 @@ import (
 	"fmt"
 
 	"extrareq/internal/apps"
+	"extrareq/internal/campaign"
 	"extrareq/internal/codesign"
 	"extrareq/internal/machine"
 	"extrareq/internal/metrics"
@@ -74,6 +75,14 @@ type (
 	ErrorClass = stats.ErrorClass
 	// ModelOptions configures the Extra-P-style model generator.
 	ModelOptions = modeling.Options
+	// Store is the campaign cache's pluggable persistence seam: load,
+	// write-through, durability barrier — all context-aware. WithStore
+	// installs a custom implementation; WithCache/WithRemoteCache select
+	// the built-in disk, remote, and tiered ones.
+	Store = campaign.Store
+	// CacheKey is the content address of a cached campaign or measurement
+	// point.
+	CacheKey = campaign.Key
 )
 
 // The Table I metrics.

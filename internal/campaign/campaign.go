@@ -87,6 +87,12 @@ type Request struct {
 	// observability handles it does not participate in the cache key; a
 	// cache hit reports the whole grid done in one call.
 	Progress func(done, total int)
+	// PointProgress, when non-nil, receives the running assembly split —
+	// how many (p, n) configurations have been reused from the point cache
+	// versus measured by this request — each time either count changes.
+	// Servers mirror it into job snapshots. A campaign-entry hit reports
+	// the whole grid reused in one call.
+	PointProgress func(reused, measured int)
 }
 
 // Outcome is a finished campaign together with its provenance: the cache
@@ -241,38 +247,101 @@ func (s *Scheduler) Stats() Stats {
 // fetch-by-key requests; decode the bytes with Decode. The read path is
 // never gated by write degradation: entries already on disk keep serving
 // after an ENOSPC stopped new writes.
-func (s *Scheduler) Lookup(key Key) ([]byte, bool) {
+func (s *Scheduler) Lookup(ctx context.Context, key Key) ([]byte, bool) {
 	if data, ok := s.mem.get(key); ok {
 		return data, true
 	}
 	if s.store != nil {
-		if data, ok := s.store.Load(key); ok {
+		if data, ok := s.store.Load(ctx, key); ok {
 			return data, true
 		}
 	}
 	return nil, false
 }
 
-// Flush forces the store's completed writes durable (fsync). It is a
-// no-op without a store or after writes degraded. Entries are already
-// written through synchronously, so Flush is a belt — drain paths call it
-// so a SIGTERM cannot race the last directory update.
-func (s *Scheduler) Flush() error {
+// LookupEntry returns the marshaled entry stored under key at either
+// granularity — point entries first (the common case on the sharding
+// path), then campaign entries, then the store. It backs the
+// GET /v1/points/{key} endpoint, which must serve everything the
+// scheduler persists, since peers write both kinds through one store.
+func (s *Scheduler) LookupEntry(ctx context.Context, key Key) ([]byte, bool) {
+	if data, ok := s.pmem.get(key); ok {
+		return data, true
+	}
+	if data, ok := s.mem.get(key); ok {
+		return data, true
+	}
+	if s.store != nil {
+		if data, ok := s.store.Load(ctx, key); ok {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// PutEntry validates and caches one marshaled entry under key, routing it
+// to the matching memory tier and writing it through to the store. It
+// backs the PUT /v1/points/{key} endpoint: peers sharding a campaign
+// publish their fresh points here. Entries that do not decode under key —
+// garbage bytes, a key mismatch, a stale KeyVersion — are rejected so one
+// confused writer cannot poison the cache for everyone.
+func (s *Scheduler) PutEntry(ctx context.Context, key Key, data []byte) error {
+	kind, err := ValidateEntry(key, data)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case PointEntry:
+		s.pmem.put(key, data)
+	case CampaignEntry:
+		s.mem.put(key, data)
+	}
+	s.storeWrite(ctx, key, data, cacheMetrics{})
+	return nil
+}
+
+// StoreStatus reports the persistence tier's health: which kind of store
+// backs the scheduler, whether writes have degraded (the scheduler's own
+// latch or the store's), and whether a remote circuit breaker is open.
+// Serving is unaffected in every degraded state — campaigns just stop
+// benefiting from the broken tier — so /readyz reports these as status,
+// not failure.
+func (s *Scheduler) StoreStatus() StoreStatus {
+	st := StoreStatus{Kind: "memory"}
+	if s.store != nil {
+		st.Kind = "store"
+		if r, ok := s.store.(StatusReporter); ok {
+			st = r.Status()
+		}
+	}
+	if s.writeDown.Load() {
+		st.WritesDegraded = true
+	}
+	return st
+}
+
+// Flush forces the store's completed writes durable (fsync) and, for
+// tiered stores, drains the remote write-behind queue. It is a no-op
+// without a store or after writes degraded. Entries are already written
+// through synchronously, so Flush is a belt — drain paths call it so a
+// SIGTERM cannot race the last directory update or strand queued remote
+// writes.
+func (s *Scheduler) Flush(ctx context.Context) error {
 	if s.store == nil || s.writeDown.Load() {
 		return nil
 	}
-	return s.store.Sync()
+	return s.store.Sync(ctx)
 }
 
 // storeWrite persists one entry to the store unless writes have degraded.
 // The first failure latches writeDown — counted once, warned once — and
 // later calls are no-ops; reads are never affected. Safe for concurrent
 // use (point entries are published from pool workers).
-func (s *Scheduler) storeWrite(key Key, data []byte, cm cacheMetrics) {
+func (s *Scheduler) storeWrite(ctx context.Context, key Key, data []byte, cm cacheMetrics) {
 	if s.store == nil || s.writeDown.Load() {
 		return
 	}
-	if err := s.store.Store(key, data); err != nil {
+	if err := s.store.Store(ctx, key, data); err != nil {
 		if s.writeDown.CompareAndSwap(false, true) {
 			s.diskErrs.Add(1)
 			cm.addDiskError()
@@ -326,7 +395,7 @@ func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
 		// store bytes we encoded); fall through and remeasure.
 	}
 	if s.store != nil {
-		if data, ok := s.store.Load(key); ok {
+		if data, ok := s.store.Load(ctx, key); ok {
 			if c, rep, err := decode(key, data); err == nil {
 				s.mem.put(key, data)
 				s.hits.Add(1)
@@ -345,6 +414,11 @@ func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
 	s.misses.Add(1)
 	cm.addMiss()
 	var reused, measured atomic.Int64
+	reportPoints := func() {
+		if req.PointProgress != nil {
+			req.PointProgress(int(reused.Load()), int(measured.Load()))
+		}
+	}
 	r := &workload.ResilientRunner{
 		App:       req.App,
 		Faults:    req.Faults,
@@ -354,19 +428,21 @@ func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
 		Tracer:    req.Tracer,
 		Progress:  req.Progress,
 		Exec:      s.exec(ctx),
-		Prefill: func(p, n int) (workload.Sample, workload.ConfigOutcome, bool) {
-			sm, out, ok := s.loadPoint(req, p, n, cm)
+		Prefill: func(pctx context.Context, p, n int) (workload.Sample, workload.ConfigOutcome, bool) {
+			sm, out, ok := s.loadPoint(pctx, req, p, n, cm)
 			if ok {
 				reused.Add(1)
+				reportPoints()
 			}
 			return sm, out, ok
 		},
-		OnConfig: func(sm workload.Sample, out workload.ConfigOutcome) {
+		OnConfig: func(pctx context.Context, sm workload.Sample, out workload.ConfigOutcome) {
 			measured.Add(1)
-			s.publishPoint(req, sm, out, cm)
+			reportPoints()
+			s.publishPoint(pctx, req, sm, out, cm)
 		},
 	}
-	c, rep, err := r.Run(req.Grid)
+	c, rep, err := r.Run(ctx, req.Grid)
 	outcome := &Outcome{Report: rep, Key: key,
 		PointsReused: int(reused.Load()), PointsMeasured: int(measured.Load())}
 	if err != nil {
@@ -382,19 +458,19 @@ func (s *Scheduler) Run(ctx context.Context, req Request) (*Outcome, error) {
 		return outcome, err
 	}
 	s.mem.put(key, data)
-	s.storeWrite(key, data, cm)
+	s.storeWrite(ctx, key, data, cm)
 	return outcome, nil
 }
 
 // loadPoint looks one (p, n) configuration up in the point cache (memory
 // first, then the store). A hit decodes and validates; anything unreadable
 // degrades to a miss and is re-measured.
-func (s *Scheduler) loadPoint(req Request, p, n int, cm cacheMetrics) (workload.Sample, workload.ConfigOutcome, bool) {
+func (s *Scheduler) loadPoint(ctx context.Context, req Request, p, n int, cm cacheMetrics) (workload.Sample, workload.ConfigOutcome, bool) {
 	pk := ComputePointKey(req, p, n)
 	data, ok := s.pmem.get(pk)
 	fromStore := false
 	if !ok && s.store != nil {
-		data, ok = s.store.Load(pk)
+		data, ok = s.store.Load(ctx, pk)
 		fromStore = ok
 	}
 	if ok {
@@ -417,22 +493,25 @@ func (s *Scheduler) loadPoint(req Request, p, n int, cm cacheMetrics) (workload.
 // publishPoint stores one freshly measured configuration in the point
 // cache, making it reusable by later campaigns (and, through the store,
 // by concurrent processes) the moment it completes. Runs on pool workers.
-func (s *Scheduler) publishPoint(req Request, sm workload.Sample, out workload.ConfigOutcome, cm cacheMetrics) {
+func (s *Scheduler) publishPoint(ctx context.Context, req Request, sm workload.Sample, out workload.ConfigOutcome, cm cacheMetrics) {
 	pk := ComputePointKey(req, out.P, out.N)
 	data, err := encodePoint(pk, appName(req.App), sm, out)
 	if err != nil {
 		return // plain data; cannot happen
 	}
 	s.pmem.put(pk, data)
-	s.storeWrite(pk, data, cm)
+	s.storeWrite(ctx, pk, data, cm)
 }
 
 // reportAllDone mirrors a fresh run's progress stream for a cache hit: the
-// whole grid is done in one callback.
+// whole grid is done (and reused) in one callback.
 func reportAllDone(req Request) {
+	total := len(req.Grid.Procs) * len(req.Grid.Ns)
 	if req.Progress != nil {
-		total := len(req.Grid.Procs) * len(req.Grid.Ns)
 		req.Progress(total, total)
+	}
+	if req.PointProgress != nil {
+		req.PointProgress(total, 0)
 	}
 }
 

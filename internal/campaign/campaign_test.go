@@ -149,7 +149,7 @@ func TestSchedulerMatchesBareRunner(t *testing.T) {
 	direct := &workload.ResilientRunner{
 		App: req.App, Faults: req.Faults, Retries: req.Retries,
 	}
-	wantC, wantRep, err := direct.Run(req.Grid)
+	wantC, wantRep, err := direct.Run(context.Background(), req.Grid)
 	if err != nil {
 		t.Fatalf("direct run: %v", err)
 	}
@@ -263,7 +263,7 @@ func TestCorruptDiskEntryIsMiss(t *testing.T) {
 				t.Fatal("corrupt entry was served as a hit")
 			}
 			// The fresh result must have overwritten the corruption.
-			data, ok := s.store.Load(key)
+			data, ok := s.store.Load(context.Background(), key)
 			if !ok {
 				t.Fatal("entry missing after remeasure")
 			}
@@ -368,10 +368,10 @@ func TestDiskStoreAtomicWrite(t *testing.T) {
 	}
 	var k Key
 	k[0] = 0xab
-	if err := s.Store(k, []byte("payload")); err != nil {
+	if err := s.Store(context.Background(), k, []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
-	if data, ok := s.Load(k); !ok || string(data) != "payload" {
+	if data, ok := s.Load(context.Background(), k); !ok || string(data) != "payload" {
 		t.Fatalf("load = %q, %v", data, ok)
 	}
 	// No temp files may linger after a successful store.
@@ -382,7 +382,7 @@ func TestDiskStoreAtomicWrite(t *testing.T) {
 	if len(tmps) != 0 {
 		t.Errorf("leftover temp files: %v", tmps)
 	}
-	if _, ok := s.Load(Key{}); ok {
+	if _, ok := s.Load(context.Background(), Key{}); ok {
 		t.Error("load of absent key succeeded")
 	}
 }

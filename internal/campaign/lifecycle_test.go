@@ -135,14 +135,14 @@ func TestSchedulerLookup(t *testing.T) {
 	}
 	req := Request{App: testApp(t), Grid: testGrid()}
 	key := ComputeKey(req)
-	if _, ok := s.Lookup(key); ok {
+	if _, ok := s.Lookup(context.Background(), key); ok {
 		t.Fatal("Lookup hit before anything ran")
 	}
 	out, err := s.Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, ok := s.Lookup(key)
+	data, ok := s.Lookup(context.Background(), key)
 	if !ok {
 		t.Fatal("Lookup miss after Run")
 	}
@@ -156,7 +156,7 @@ func TestSchedulerLookup(t *testing.T) {
 	if rep == nil {
 		t.Error("decoded report is nil")
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatalf("Flush: %v", err)
 	}
 	s.Close()
@@ -167,7 +167,7 @@ func TestSchedulerLookup(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	disk, ok := s2.Lookup(key)
+	disk, ok := s2.Lookup(context.Background(), key)
 	if !ok {
 		t.Fatal("Lookup miss from disk in fresh scheduler")
 	}

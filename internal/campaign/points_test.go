@@ -290,7 +290,7 @@ func TestStalePointEntryIsMiss(t *testing.T) {
 		t.Errorf("stale point entry was reused (reused %d / measured %d)",
 			out.PointsReused, out.PointsMeasured)
 	}
-	data, ok := s.store.Load(pk)
+	data, ok := s.store.Load(context.Background(), pk)
 	if !ok {
 		t.Fatal("point entry missing after remeasure")
 	}
@@ -394,16 +394,18 @@ type failWriteStore struct {
 	fail  bool
 }
 
-func (s *failWriteStore) Load(k Key) ([]byte, bool) { return s.inner.Load(k) }
+func (s *failWriteStore) Load(ctx context.Context, k Key) ([]byte, bool) {
+	return s.inner.Load(ctx, k)
+}
 
-func (s *failWriteStore) Store(k Key, data []byte) error {
+func (s *failWriteStore) Store(ctx context.Context, k Key, data []byte) error {
 	if s.fail {
 		return errors.New("injected: no space left on device")
 	}
-	return s.inner.Store(k, data)
+	return s.inner.Store(ctx, k, data)
 }
 
-func (s *failWriteStore) Sync() error { return s.inner.Sync() }
+func (s *failWriteStore) Sync(ctx context.Context) error { return s.inner.Sync(ctx) }
 
 // Regression test for the diskDown latch gating reads: a write failure
 // must degrade writes only. Entries already on disk keep serving Lookup
@@ -453,7 +455,7 @@ func TestWriteFailureKeepsServingDiskReads(t *testing.T) {
 
 	// The latch must not gate reads: the pre-existing disk entry still
 	// hits, through Lookup and through Run.
-	if _, ok := s2.Lookup(key); !ok {
+	if _, ok := s2.Lookup(context.Background(), key); !ok {
 		t.Error("Lookup of a pre-existing disk entry missed after a write failure")
 	}
 	warm, err := s2.Run(context.Background(), req)

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -14,25 +15,62 @@ import (
 )
 
 // Store is the persistence seam of the Scheduler: a content-addressed blob
-// store keyed by campaign and point keys. Implementations must be safe for
-// concurrent use from multiple goroutines, tolerate concurrent writers of
-// the same key (keys are content hashes, so racing writers carry identical
-// bytes), and degrade unreadable entries to ok=false misses rather than
-// errors — the Scheduler re-measures and overwrites on a miss. DiskStore
-// is the default implementation; its shared-directory layout (one file per
-// key, atomic rename) is additionally safe for multiple *processes*
-// pointed at one directory, which is how N reqserve/CLI instances shard a
-// campaign's points between them.
+// store keyed by campaign and point keys. Every method takes the context
+// of the request (or drain) on whose behalf it runs, so a store backed by
+// a network — RemoteStore, or TieredStore over it — inherits the caller's
+// deadline and cancellation instead of stalling a campaign on a dead
+// remote. Purely local implementations (DiskStore) may ignore the context.
+//
+// Implementations must be safe for concurrent use from multiple
+// goroutines, tolerate concurrent writers of the same key (keys are
+// content hashes, so racing writers carry identical bytes), and degrade
+// unreadable entries to ok=false misses rather than errors — the Scheduler
+// re-measures and overwrites on a miss. DiskStore is the default
+// implementation; its shared-directory layout (one file per key, atomic
+// rename) is additionally safe for multiple *processes* pointed at one
+// directory, which is how N reqserve/CLI instances shard a campaign's
+// points between them. RemoteStore shards without any shared filesystem
+// by speaking the reqserve /v1/points protocol.
 type Store interface {
 	// Load returns the stored bytes for k, or ok=false when the entry is
-	// absent or unreadable.
-	Load(k Key) (data []byte, ok bool)
-	// Store persists the entry durably under k, atomically with respect to
-	// concurrent Loads of the same key.
-	Store(k Key, data []byte) error
-	// Sync forces completed writes durable; drain paths call it once more
-	// before exit.
-	Sync() error
+	// absent, unreadable, or unreachable before ctx's deadline.
+	Load(ctx context.Context, k Key) (data []byte, ok bool)
+	// Store persists the entry under k, atomically with respect to
+	// concurrent Loads of the same key. Implementations that cannot
+	// persist durably right now may degrade (drop or defer the write) and
+	// still return nil; a non-nil error tells the Scheduler the store is
+	// permanently broken, which latches writes off for its lifetime.
+	Store(ctx context.Context, k Key, data []byte) error
+	// Sync forces completed writes durable — including flushing any
+	// write-behind queue — before returning; drain paths call it once
+	// more before exit.
+	Sync(ctx context.Context) error
+}
+
+// StoreStatus is a point-in-time health view of a Scheduler's persistence
+// tier, exposed to operators through reqserve's /readyz so "degraded but
+// serving" is distinguishable from "draining".
+type StoreStatus struct {
+	// Kind names the tier: "memory" (no store), "disk", "remote", or
+	// "tiered".
+	Kind string `json:"kind"`
+	// WritesDegraded reports that the Scheduler latched store writes off
+	// after a write failure (reads stay live).
+	WritesDegraded bool `json:"writes_degraded,omitempty"`
+	// BreakerOpen reports that the remote tier's circuit breaker is open:
+	// remote loads degrade to misses and remote writes are dropped until
+	// the remote recovers.
+	BreakerOpen bool `json:"breaker_open,omitempty"`
+}
+
+// Degraded reports whether any tier is operating below full capability.
+func (s StoreStatus) Degraded() bool { return s.WritesDegraded || s.BreakerOpen }
+
+// StatusReporter is the optional health interface of a Store. Stores with
+// runtime failure modes (RemoteStore, TieredStore) implement it; the
+// Scheduler folds the result into its own StoreStatus.
+type StatusReporter interface {
+	Status() StoreStatus
 }
 
 // Cache entry encoding. A single JSON document carries both the campaign
@@ -133,6 +171,36 @@ func decode(key Key, data []byte) (*workload.Campaign, *workload.CampaignReport,
 	return e.Campaign, e.Report, nil
 }
 
+// EntryKind classifies a validated cache entry.
+type EntryKind int
+
+const (
+	// PointEntry is one measured (p, n) configuration.
+	PointEntry EntryKind = iota
+	// CampaignEntry is a whole finished campaign with its report.
+	CampaignEntry
+)
+
+// ValidateEntry checks that data is a well-formed cache entry — point or
+// campaign — whose embedded key matches k and whose format version is
+// current. Servers accepting uploads on the /v1/points endpoint use it to
+// keep garbage and stale-version entries out of a shared store: a peer
+// running an older KeyVersion is rejected here instead of poisoning
+// every later load (which would tolerate but re-measure the entry
+// anyway). It returns what kind of entry the bytes carry.
+func ValidateEntry(k Key, data []byte) (EntryKind, error) {
+	if _, _, err := decodePoint(k, data); err == nil {
+		return PointEntry, nil
+	}
+	if _, _, err := decode(k, data); err == nil {
+		return CampaignEntry, nil
+	}
+	// Re-run the point decode for its error message: both decoders agree
+	// on version/key mismatches, which are the interesting rejections.
+	_, _, perr := decodePoint(k, data)
+	return 0, perr
+}
+
 // DiskStore persists cache entries as one JSON file per key under a
 // directory. Writes go through a temp file in the same directory followed
 // by an atomic rename, so a crash can leave stale temp files but never a
@@ -190,14 +258,19 @@ func OpenDiskStore(dir string) (*DiskStore, error) {
 // Dir returns the store's directory.
 func (s *DiskStore) Dir() string { return s.dir }
 
+// Status reports the disk tier. The Scheduler overlays its own
+// write-degradation latch; the store itself has no further state.
+func (s *DiskStore) Status() StoreStatus { return StoreStatus{Kind: "disk"} }
+
 func (s *DiskStore) path(k Key) string {
 	return filepath.Join(s.dir, k.String()+".json")
 }
 
 // Load returns the stored bytes for k, or ok=false if the entry does not
 // exist or cannot be read. Validation of the bytes is the caller's job
-// (decode), so an unreadable or corrupt file degrades to a miss.
-func (s *DiskStore) Load(k Key) (data []byte, ok bool) {
+// (decode), so an unreadable or corrupt file degrades to a miss. Local
+// reads are fast and uncancellable mid-syscall, so ctx is ignored.
+func (s *DiskStore) Load(_ context.Context, k Key) (data []byte, ok bool) {
 	data, err := os.ReadFile(s.path(k))
 	if err != nil {
 		return nil, false
@@ -213,7 +286,7 @@ func (s *DiskStore) Load(k Key) (data []byte, ok bool) {
 // them a machine crash shortly after the rename can leave a zero-length or
 // unlinked entry, which the tolerant loader would treat as a miss but
 // which silently throws away a measured campaign.
-func (s *DiskStore) Store(k Key, data []byte) error {
+func (s *DiskStore) Store(ctx context.Context, k Key, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, "."+k.String()+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("campaign: cache write: %w", err)
@@ -234,7 +307,7 @@ func (s *DiskStore) Store(k Key, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: cache write: %w", err)
 	}
-	if err := s.Sync(); err != nil {
+	if err := s.Sync(ctx); err != nil {
 		return err
 	}
 	return nil
@@ -243,7 +316,7 @@ func (s *DiskStore) Store(k Key, data []byte) error {
 // Sync fsyncs the store directory itself, making completed renames
 // durable. Store calls it after every write; drain paths call it once more
 // through Scheduler.Flush before exit.
-func (s *DiskStore) Sync() error {
+func (s *DiskStore) Sync(_ context.Context) error {
 	d, err := os.Open(s.dir)
 	if err != nil {
 		return fmt.Errorf("campaign: cache dir sync: %w", err)

@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// Remote-tier benchmarks quantify the sharding trade: RemoteWarm serves a
+// campaign entirely from a peer's point store over HTTP (a fresh
+// scheduler per iteration, so its memory LRU cannot shortcut the wire);
+// RemoteCold is the same scheduler shape measuring everything and
+// publishing it remotely. The gap is what a shard saves per campaign it
+// can assemble from the fleet instead of measuring. Both run one
+// iteration in the scripts/check.sh bench smoke.
+
+func BenchmarkRemoteWarm(b *testing.B) {
+	ps, seedStore := newPointsServer(b, RemoteOptions{})
+	seeder, err := New(Options{Workers: 2, Store: seedStore, Logf: b.Logf})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := Request{App: testApp(b), Grid: testGrid()}
+	if _, err := seeder.Run(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	seeder.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	baseURL := strings.TrimSuffix(seedStore.base, "/v1/points/")
+	for i := 0; i < b.N; i++ {
+		// A fresh client per iteration: no known-keys dedup shortcuts.
+		remote, err := NewRemoteStore(baseURL, RemoteOptions{Client: seedStore.client, Logf: b.Logf})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := New(Options{Workers: 2, Store: remote, Logf: b.Logf})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := s.Run(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.CacheHit {
+			b.Fatal("warm iteration missed the remote cache")
+		}
+		s.Close()
+	}
+	_ = ps
+}
+
+func BenchmarkRemoteCold(b *testing.B) {
+	_, remote := newPointsServer(b, RemoteOptions{})
+	s, err := New(Options{Workers: 2, Store: remote, Logf: b.Logf})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	app := testApp(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grid := testGrid()
+		grid.Seed = int64(i + 1) // fresh keys: every load misses remotely
+		out, err := s.Run(context.Background(), Request{App: app, Grid: grid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.CacheHit {
+			b.Fatal("cold iteration hit the cache")
+		}
+	}
+}

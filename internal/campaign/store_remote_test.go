@@ -1,0 +1,455 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"extrareq/internal/obs"
+	"extrareq/internal/workload"
+)
+
+// pointsServer is a minimal in-memory peer speaking the /v1/points
+// protocol, with injectable failures so tests can exercise the client's
+// retry, timeout, and breaker machinery without a real reqserve.
+type pointsServer struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	gets    int
+	puts    int
+	// failNext forces the next N requests to answer failStatus (or hang
+	// for failDelay when failStatus is 0). failNext < 0 fails forever.
+	failNext   int
+	failStatus int
+	failDelay  time.Duration
+}
+
+func (ps *pointsServer) failing(n, status int) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.failNext, ps.failStatus = n, status
+}
+
+func (ps *pointsServer) counts() (gets, puts int) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.gets, ps.puts
+}
+
+func (ps *pointsServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ps.mu.Lock()
+	key := r.PathValue("key")
+	switch r.Method {
+	case http.MethodGet:
+		ps.gets++
+	case http.MethodPut:
+		ps.puts++
+	}
+	fail := ps.failNext != 0
+	status, delay := ps.failStatus, ps.failDelay
+	if ps.failNext > 0 {
+		ps.failNext--
+	}
+	ps.mu.Unlock()
+	if fail {
+		if status == 0 {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+			}
+			return
+		}
+		http.Error(w, "injected failure", status)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		ps.mu.Lock()
+		data, ok := ps.entries[key]
+		ps.mu.Unlock()
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(data)
+	case http.MethodPut:
+		body := make([]byte, 0, 1024)
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		ps.mu.Lock()
+		if ps.entries == nil {
+			ps.entries = map[string][]byte{}
+		}
+		ps.entries[key] = body
+		ps.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// newPointsServer starts the fake peer and a RemoteStore against it.
+func newPointsServer(t testing.TB, o RemoteOptions) (*pointsServer, *RemoteStore) {
+	t.Helper()
+	ps := &pointsServer{entries: map[string][]byte{}}
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/points/{key}", ps)
+	mux.Handle("PUT /v1/points/{key}", ps)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	if o.Client == nil {
+		o.Client = ts.Client()
+	}
+	if o.Logf == nil {
+		o.Logf = t.Logf
+	}
+	if o.sleep == nil {
+		o.sleep = func(time.Duration) {} // no real backoff waits in tests
+	}
+	rs, err := NewRemoteStore(ts.URL, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps, rs
+}
+
+// testPointEntry builds a valid point entry and its key.
+func testPointEntry(t testing.TB) (Key, []byte) {
+	t.Helper()
+	req := Request{App: testApp(t), Grid: testGrid()}
+	key := ComputePointKey(req, 2, 64)
+	data, err := encodePoint(key, req.App.Name(), workload.Sample{P: 2, N: 64, Values: map[string]float64{"t": 1}}, workload.ConfigOutcome{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key, data
+}
+
+func TestNewRemoteStoreRejectsBadURL(t *testing.T) {
+	for _, bad := range []string{"", "ftp://host", "host:8080", "/just/a/path", "http://"} {
+		if _, err := NewRemoteStore(bad, RemoteOptions{}); err == nil {
+			t.Errorf("NewRemoteStore(%q) accepted a non-http(s) URL", bad)
+		}
+	}
+	if _, err := NewRemoteStore("http://localhost:9", RemoteOptions{}); err != nil {
+		t.Errorf("NewRemoteStore rejected a well-formed URL: %v", err)
+	}
+}
+
+func TestRemoteStoreRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	ps, rs := newPointsServer(t, RemoteOptions{Metrics: reg})
+	key, data := testPointEntry(t)
+	ctx := context.Background()
+
+	if _, ok := rs.Load(ctx, key); ok {
+		t.Fatal("Load hit before anything was stored")
+	}
+	if err := rs.Store(ctx, key, data); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	// A fresh client (no known-keys memory) reads the bytes back.
+	_, rs2 := newPointsServer(t, RemoteOptions{})
+	rs2.base = rs.base
+	rs2.client = rs.client
+	got, ok := rs2.Load(ctx, key)
+	if !ok {
+		t.Fatal("Load miss after Store")
+	}
+	if string(got) != string(data) {
+		t.Error("Load returned different bytes than Store sent")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[obs.MetricStoreRemoteMiss] != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricStoreRemoteMiss, snap.Counters[obs.MetricStoreRemoteMiss])
+	}
+	if snap.Counters[obs.MetricStoreRemoteError] != 0 {
+		t.Errorf("%s = %d, want 0", obs.MetricStoreRemoteError, snap.Counters[obs.MetricStoreRemoteError])
+	}
+	if _, puts := ps.counts(); puts != 1 {
+		t.Errorf("server saw %d PUTs, want 1", puts)
+	}
+}
+
+// A successful PUT (or GET) marks the key known; re-storing the same
+// entry — every overlapping campaign does this — skips the wire entirely.
+func TestRemoteStorePutDedup(t *testing.T) {
+	ps, rs := newPointsServer(t, RemoteOptions{})
+	key, data := testPointEntry(t)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := rs.Store(ctx, key, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, puts := ps.counts(); puts != 1 {
+		t.Errorf("server saw %d PUTs for one key, want 1 (dedup)", puts)
+	}
+	// A Load hit also marks the key known on a fresh store.
+	_, rs2 := newPointsServer(t, RemoteOptions{})
+	rs2.base, rs2.client = rs.base, rs.client
+	if _, ok := rs2.Load(ctx, key); !ok {
+		t.Fatal("Load miss after PUT")
+	}
+	if err := rs2.Store(ctx, key, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, puts := ps.counts(); puts != 1 {
+		t.Errorf("server saw %d PUTs after a confirming GET, want still 1", puts)
+	}
+}
+
+// Transient 5xx responses are retried with backoff; the operation
+// succeeds once the remote recovers within the retry budget.
+func TestRemoteStoreRetriesTransient5xx(t *testing.T) {
+	var slept []time.Duration
+	ps, rs := newPointsServer(t, RemoteOptions{
+		Retries: 2,
+		Backoff: 10 * time.Millisecond,
+		sleep:   func(d time.Duration) { slept = append(slept, d) },
+	})
+	key, data := testPointEntry(t)
+	ps.entries[key.String()] = data
+	ps.failing(2, http.StatusInternalServerError)
+
+	if _, ok := rs.Load(context.Background(), key); !ok {
+		t.Fatal("Load failed despite recovery within the retry budget")
+	}
+	if gets, _ := ps.counts(); gets != 3 {
+		t.Errorf("server saw %d GETs, want 3 (two 500s + success)", gets)
+	}
+	if len(slept) != 2 || slept[0] != 10*time.Millisecond || slept[1] != 20*time.Millisecond {
+		t.Errorf("backoff sleeps = %v, want [10ms 20ms] (doubling)", slept)
+	}
+}
+
+// A remote that stays down exhausts the retry budget: loads degrade to
+// misses, stores are dropped, and neither ever surfaces an error.
+func TestRemoteStoreDegradesWhenRemoteStaysDown(t *testing.T) {
+	reg := obs.NewRegistry()
+	ps, rs := newPointsServer(t, RemoteOptions{Retries: 1, Metrics: reg})
+	ps.failing(-1, http.StatusInternalServerError)
+	key, data := testPointEntry(t)
+	ctx := context.Background()
+
+	if _, ok := rs.Load(ctx, key); ok {
+		t.Fatal("Load reported a hit from a dead remote")
+	}
+	if err := rs.Store(ctx, key, data); err != nil {
+		t.Fatalf("Store surfaced a remote failure: %v (must degrade, not latch writes off)", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.MetricStoreRemoteError]; got != 2 {
+		t.Errorf("%s = %d, want 2 (one failed load, one failed store)", obs.MetricStoreRemoteError, got)
+	}
+	if got := snap.Counters[obs.MetricStoreRemoteDropped]; got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricStoreRemoteDropped, got)
+	}
+	if gets, puts := ps.counts(); gets != 2 || puts != 2 {
+		t.Errorf("server saw %d GETs / %d PUTs, want 2 / 2 (1 + 1 retry each)", gets, puts)
+	}
+}
+
+// 404 is an answer, not a failure: no retries, no error count.
+func TestRemoteStore404IsMissNotError(t *testing.T) {
+	reg := obs.NewRegistry()
+	ps, rs := newPointsServer(t, RemoteOptions{Metrics: reg})
+	key, _ := testPointEntry(t)
+	if _, ok := rs.Load(context.Background(), key); ok {
+		t.Fatal("Load hit on an empty remote")
+	}
+	if gets, _ := ps.counts(); gets != 1 {
+		t.Errorf("server saw %d GETs, want 1 (404 must not be retried)", gets)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[obs.MetricStoreRemoteError] != 0 {
+		t.Error("404 counted as a remote error")
+	}
+	if snap.Counters[obs.MetricStoreRemoteMiss] != 1 {
+		t.Error("404 not counted as a miss")
+	}
+}
+
+// The per-attempt timeout bounds a hung remote; the caller gets a miss
+// within its deadline instead of stalling a campaign.
+func TestRemoteStoreTimeout(t *testing.T) {
+	reg := obs.NewRegistry()
+	ps, rs := newPointsServer(t, RemoteOptions{
+		Timeout: 20 * time.Millisecond,
+		Retries: -1,
+		Metrics: reg,
+	})
+	ps.mu.Lock()
+	ps.failNext, ps.failStatus, ps.failDelay = -1, 0, 10*time.Second
+	ps.mu.Unlock()
+	key, _ := testPointEntry(t)
+
+	start := time.Now()
+	if _, ok := rs.Load(context.Background(), key); ok {
+		t.Fatal("Load hit from a hung remote")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Load took %v; the per-attempt timeout did not bound the hang", elapsed)
+	}
+	if got := reg.Snapshot().Counters[obs.MetricStoreRemoteError]; got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricStoreRemoteError, got)
+	}
+}
+
+// The caller's context cancels an in-flight operation and suppresses
+// further retries.
+func TestRemoteStoreHonorsCallerContext(t *testing.T) {
+	ps, rs := newPointsServer(t, RemoteOptions{Retries: 5})
+	ps.failing(-1, http.StatusInternalServerError)
+	key, _ := testPointEntry(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := rs.Load(ctx, key); ok {
+		t.Fatal("Load hit under a cancelled context")
+	}
+	if gets, _ := ps.counts(); gets > 1 {
+		t.Errorf("server saw %d GETs under a cancelled context, want at most 1", gets)
+	}
+}
+
+// The breaker opens after threshold consecutive failures, suppresses all
+// traffic during the cooldown, lets exactly one probe through after it,
+// and closes again when the probe succeeds.
+func TestRemoteBreakerOpensAndRecovers(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := time.Unix(1000, 0)
+	ps, rs := newPointsServer(t, RemoteOptions{
+		Retries:          -1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		Metrics:          reg,
+		now:              func() time.Time { return clock },
+	})
+	ps.failing(-1, http.StatusInternalServerError)
+	key, data := testPointEntry(t)
+	ctx := context.Background()
+
+	rs.Load(ctx, key)
+	rs.Load(ctx, key)
+	if !rs.BreakerOpen() {
+		t.Fatal("breaker still closed after threshold consecutive failures")
+	}
+	if st := rs.Status(); st.Kind != "remote" || !st.BreakerOpen || !st.Degraded() {
+		t.Errorf("Status() = %+v, want remote/breaker-open/degraded", st)
+	}
+	snap := reg.Snapshot()
+	if snap.Gauges[obs.MetricStoreRemoteBreakerOpen] != 1 {
+		t.Error("breaker gauge not raised")
+	}
+	if snap.Counters[obs.MetricStoreRemoteBreakerOpens] != 1 {
+		t.Error("breaker opens counter not incremented")
+	}
+
+	// Open: loads are instant misses, stores instant drops — no traffic.
+	gets0, puts0 := ps.counts()
+	if _, ok := rs.Load(ctx, key); ok {
+		t.Fatal("Load hit with the breaker open")
+	}
+	rs.Store(ctx, key, data)
+	if gets, puts := ps.counts(); gets != gets0 || puts != puts0 {
+		t.Errorf("open breaker let traffic through: %d/%d GET/PUT, was %d/%d", gets, puts, gets0, puts0)
+	}
+	if got := reg.Snapshot().Counters[obs.MetricStoreRemoteDropped]; got != 1 {
+		t.Errorf("%s = %d, want 1 (suppressed store)", obs.MetricStoreRemoteDropped, got)
+	}
+
+	// After the cooldown a failed probe restarts it — still no flood.
+	clock = clock.Add(2 * time.Minute)
+	gets0, _ = ps.counts()
+	rs.Load(ctx, key) // the one probe, fails
+	if gets, _ := ps.counts(); gets != gets0+1 {
+		t.Errorf("half-open allowed %d probes, want 1", gets-gets0)
+	}
+	rs.Load(ctx, key) // cooldown restarted: suppressed
+	if gets, _ := ps.counts(); gets != gets0+1 {
+		t.Error("failed probe did not restart the cooldown")
+	}
+
+	// Remote heals; next cooldown's probe succeeds and closes the circuit.
+	ps.failing(0, 0)
+	ps.mu.Lock()
+	ps.entries[key.String()] = data
+	ps.mu.Unlock()
+	clock = clock.Add(2 * time.Minute)
+	if _, ok := rs.Load(ctx, key); !ok {
+		t.Fatal("probe against a healed remote missed")
+	}
+	if rs.BreakerOpen() {
+		t.Fatal("breaker still open after a successful probe")
+	}
+	if reg.Snapshot().Gauges[obs.MetricStoreRemoteBreakerOpen] != 0 {
+		t.Error("breaker gauge not cleared after recovery")
+	}
+}
+
+// End-to-end degradation: a scheduler whose only store is a dead remote
+// still completes campaigns — it just measures everything itself.
+func TestSchedulerCompletesWithDeadRemote(t *testing.T) {
+	ps, rs := newPointsServer(t, RemoteOptions{Retries: -1, BreakerThreshold: 2})
+	ps.failing(-1, http.StatusInternalServerError)
+	s, err := New(Options{Workers: 2, Store: rs, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	out, err := s.Run(context.Background(), Request{App: testApp(t), Grid: testGrid()})
+	if err != nil {
+		t.Fatalf("Run with dead remote store: %v", err)
+	}
+	if out.Campaign == nil || out.Report == nil {
+		t.Fatal("Run with dead remote returned no campaign/report")
+	}
+	if st := s.Stats(); st.DiskErrors != 0 {
+		t.Errorf("dead remote latched the write-degradation counter: DiskErrors = %d", st.DiskErrors)
+	}
+	// Byte-identical to a storeless run of the same request.
+	mem, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	want, err := mem.Run(context.Background(), Request{App: testApp(t), Grid: testGrid()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(mustJSON(t, want.Report)) != string(mustJSON(t, out.Report)) {
+		t.Error("report behind a dead remote differs from a storeless run")
+	}
+}
+
+// An entry larger than the response bound degrades to a miss.
+func TestRemoteStoreOversizeEntryIsMiss(t *testing.T) {
+	key, _ := testPointEntry(t)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/points/{key}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", fmt.Sprint(maxRemoteEntryBytes+2))
+		big := make([]byte, 64<<10)
+		for written := 0; written < maxRemoteEntryBytes+2; written += len(big) {
+			if _, err := w.Write(big); err != nil {
+				return
+			}
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	rs, err := NewRemoteStore(ts.URL, RemoteOptions{Client: ts.Client(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rs.Load(context.Background(), key); ok {
+		t.Fatal("Load accepted an entry beyond maxRemoteEntryBytes")
+	}
+}

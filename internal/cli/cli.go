@@ -1,10 +1,10 @@
 // Package cli holds the measurement flag plumbing shared by cmd/repro and
 // cmd/reqgen: the fault/resilience flags (-faults, -retries, -min-points),
 // the observability flags (-trace, -metrics, -pprof), and the campaign
-// cache flags (-cache-dir, -cache-stats). Each command registers the
-// shared set next to its own flags, then turns them into the option slice
-// for extrareq.Run/RunAll with Setup and flushes trace/metrics/cache
-// output with Finish.
+// cache flags (-cache-dir, -cache-remote, -cache-stats). Each command
+// registers the shared set next to its own flags, then turns them into
+// the option slice for extrareq.Run/RunAll with Setup and flushes
+// trace/metrics/cache output with Finish.
 package cli
 
 import (
@@ -18,14 +18,15 @@ import (
 // Flags is the shared command-line option set. Zero value + Register +
 // fs.Parse + Setup is the whole lifecycle.
 type Flags struct {
-	Faults     string
-	Retries    int
-	MinPoints  int
-	Trace      string
-	Metrics    string
-	Pprof      string
-	CacheDir   string
-	CacheStats bool
+	Faults      string
+	Retries     int
+	MinPoints   int
+	Trace       string
+	Metrics     string
+	Pprof       string
+	CacheDir    string
+	CacheRemote string
+	CacheStats  bool
 
 	plan   *extrareq.FaultPlan
 	reg    *extrareq.MetricsRegistry
@@ -50,6 +51,10 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 		"persist measured campaigns and per-point results in this directory and serve "+
 			"byte-identical repeats from it; safe to share between concurrent processes, "+
 			"which then split overlapping grids between them")
+	fs.StringVar(&f.CacheRemote, "cache-remote", "",
+		"base URL of a peer speaking the reqserve point protocol (GET/PUT /v1/points/{key}); "+
+			"machines without a shared filesystem shard one campaign's points through it, "+
+			"and with -cache-dir the two tiers layer (local reads first, background remote writes)")
 	fs.BoolVar(&f.CacheStats, "cache-stats", false,
 		"print campaign cache hit/miss/byte counters to stderr at exit")
 }
@@ -93,6 +98,9 @@ func (f *Flags) Setup(errw io.Writer, prog string) ([]extrareq.Option, error) {
 	}
 	if f.CacheDir != "" {
 		opts = append(opts, extrareq.WithCache(f.CacheDir))
+	}
+	if f.CacheRemote != "" {
+		opts = append(opts, extrareq.WithRemoteCache(f.CacheRemote))
 	}
 	return opts, nil
 }

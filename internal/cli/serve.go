@@ -20,6 +20,7 @@ type ServeFlags struct {
 	Addr           string
 	Workers        int
 	CacheDir       string
+	CacheRemote    string
 	Queue          int
 	TenantRate     float64
 	TenantBurst    int
@@ -39,6 +40,10 @@ func (f *ServeFlags) Register(fs *flag.FlagSet) {
 		"persist measured campaigns and per-point results in this directory and serve "+
 			"byte-identical repeats from it; point a fleet of reqserve instances at one "+
 			"shared directory and they shard overlapping grids between them")
+	fs.StringVar(&f.CacheRemote, "cache-remote", "",
+		"base URL of a peer reqserve whose /v1/points endpoints back the point cache; "+
+			"with -cache-dir the two tiers layer (local reads first, background remote writes), "+
+			"so fleets without a shared filesystem shard overlapping grids between instances")
 	fs.IntVar(&f.Queue, "queue", serve.DefaultQueue,
 		"max admitted unfinished campaigns; further distinct submissions are shed with 503")
 	fs.Float64Var(&f.TenantRate, "tenant-rate", 0,
@@ -74,13 +79,41 @@ func (f *ServeFlags) Setup(errw io.Writer, prog string) error {
 	return nil
 }
 
-// SchedulerOptions builds the campaign scheduler configuration.
-func (f *ServeFlags) SchedulerOptions(logf func(format string, args ...any)) campaign.Options {
-	return campaign.Options{
+// SchedulerOptions builds the campaign scheduler configuration, including
+// the persistence tier the cache flags select: disk (-cache-dir), remote
+// (-cache-remote), tiered local-over-remote (both), or memory-only
+// (neither). reg receives the store_remote_* instruments and may be nil.
+// The returned cleanup flushes and stops the tiered write-behind worker;
+// call it after the scheduler has closed (it is a no-op for the other
+// store shapes).
+func (f *ServeFlags) SchedulerOptions(reg *obs.Registry, logf func(format string, args ...any)) (campaign.Options, func(), error) {
+	opts := campaign.Options{
 		Workers: f.Workers,
-		Dir:     f.CacheDir,
 		Logf:    logf,
 	}
+	nop := func() {}
+	if f.CacheRemote == "" {
+		opts.Dir = f.CacheDir
+		return opts, nop, nil
+	}
+	remote, err := campaign.NewRemoteStore(f.CacheRemote, campaign.RemoteOptions{
+		Metrics: reg,
+		Logf:    logf,
+	})
+	if err != nil {
+		return campaign.Options{}, nil, err
+	}
+	if f.CacheDir == "" {
+		opts.Store = remote
+		return opts, nop, nil
+	}
+	disk, err := campaign.OpenDiskStore(f.CacheDir)
+	if err != nil {
+		return campaign.Options{}, nil, err
+	}
+	tiered := campaign.NewTieredStore(disk, remote, campaign.TieredOptions{Metrics: reg})
+	opts.Store = tiered
+	return opts, tiered.Close, nil
 }
 
 // ServerOptions builds the serve.Options around a runner and registry.

@@ -31,7 +31,11 @@ func TestServeFlagsDefaultsAndWiring(t *testing.T) {
 	if err := f.Setup(io.Discard, "reqserve"); err != nil {
 		t.Fatal(err)
 	}
-	so := f.SchedulerOptions(nil)
+	so, cleanup, err := f.SchedulerOptions(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
 	if so.Workers != 3 || so.Dir == "" {
 		t.Errorf("scheduler options: %+v", so)
 	}

@@ -1,0 +1,120 @@
+package obs
+
+// Remote point-store instruments. The campaign scheduler's persistence
+// seam can be an HTTP client talking to a peer reqserve (or any server
+// speaking the /v1/points protocol); unlike the local disk tier, that
+// path has real failure modes — slow networks, 5xx bursts, partitions —
+// that operators must be able to see without reading logs. RemoteStore
+// follows the RED pattern used for the server instruments: resolve once,
+// update with single atomics, nil-safe throughout so a store built
+// without a registry pays nothing.
+
+// Metric names of the remote point-store instruments.
+const (
+	// MetricStoreRemoteHit counts remote loads that returned an entry.
+	MetricStoreRemoteHit = "store_remote_hit"
+	// MetricStoreRemoteMiss counts remote loads answered 404 (the entry
+	// does not exist remotely) or degraded to a miss by the breaker.
+	MetricStoreRemoteMiss = "store_remote_miss"
+	// MetricStoreRemoteError counts remote operations that failed after
+	// exhausting their retry budget (transport errors, 5xx, timeouts).
+	MetricStoreRemoteError = "store_remote_error"
+	// MetricStoreRemoteDropped counts writes dropped instead of sent:
+	// breaker open, write-behind queue full, or store closed.
+	MetricStoreRemoteDropped = "store_remote_dropped"
+	// MetricStoreRemoteSeconds is the per-operation latency histogram
+	// (seconds), covering retries within one logical Load/Store.
+	MetricStoreRemoteSeconds = "store_remote_seconds"
+	// MetricStoreRemoteBreakerOpen gauges the circuit breaker: 1 while
+	// open (remote traffic suppressed), 0 while closed or probing.
+	MetricStoreRemoteBreakerOpen = "store_remote_breaker_open"
+	// MetricStoreRemoteBreakerOpens counts closed/half-open → open
+	// transitions, so flapping remotes are visible even when the gauge
+	// reads 0 at scrape time.
+	MetricStoreRemoteBreakerOpens = "store_remote_breaker_opens"
+)
+
+// RemoteStoreSecondsEdges is the bucket layout of MetricStoreRemoteSeconds:
+// 100µs to ~26s in x4 steps, matching RequestSecondsEdges so client- and
+// server-side latencies line up in dashboards.
+func RemoteStoreSecondsEdges() []float64 { return ExpEdges(1e-4, 4, 10) }
+
+// RemoteStore bundles the remote point-store instruments. The zero value
+// and the nil pointer are valid no-op instances.
+type RemoteStore struct {
+	hit, miss, err, dropped *Counter
+	seconds                 *Histogram
+	breakerOpen             *Gauge
+	breakerOpens            *Counter
+}
+
+// NewRemoteStore resolves the remote-store instruments in reg; nil reg
+// returns a no-op bundle.
+func NewRemoteStore(reg *Registry) *RemoteStore {
+	if reg == nil {
+		return nil
+	}
+	return &RemoteStore{
+		hit:          reg.Counter(MetricStoreRemoteHit),
+		miss:         reg.Counter(MetricStoreRemoteMiss),
+		err:          reg.Counter(MetricStoreRemoteError),
+		dropped:      reg.Counter(MetricStoreRemoteDropped),
+		seconds:      reg.Histogram(MetricStoreRemoteSeconds, RemoteStoreSecondsEdges()),
+		breakerOpen:  reg.Gauge(MetricStoreRemoteBreakerOpen),
+		breakerOpens: reg.Counter(MetricStoreRemoteBreakerOpens),
+	}
+}
+
+// Hit counts one successful remote load.
+func (m *RemoteStore) Hit() {
+	if m != nil {
+		m.hit.Inc()
+	}
+}
+
+// Miss counts one remote load that found nothing (404 or breaker open).
+func (m *RemoteStore) Miss() {
+	if m != nil {
+		m.miss.Inc()
+	}
+}
+
+// Error counts one remote operation that failed after retries.
+func (m *RemoteStore) Error() {
+	if m != nil {
+		m.err.Inc()
+	}
+}
+
+// Dropped counts one write discarded without reaching the remote.
+func (m *RemoteStore) Dropped() {
+	if m != nil {
+		m.dropped.Inc()
+	}
+}
+
+// ObserveLatency records one logical operation's wall time in seconds.
+func (m *RemoteStore) ObserveLatency(s float64) {
+	if m != nil {
+		m.seconds.Observe(s)
+	}
+}
+
+// SetBreakerOpen publishes the breaker gauge (1 = open, 0 = closed).
+func (m *RemoteStore) SetBreakerOpen(open bool) {
+	if m == nil {
+		return
+	}
+	v := 0.0
+	if open {
+		v = 1.0
+	}
+	m.breakerOpen.Set(v)
+}
+
+// BreakerOpened counts one transition into the open state.
+func (m *RemoteStore) BreakerOpened() {
+	if m != nil {
+		m.breakerOpens.Inc()
+	}
+}

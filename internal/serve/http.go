@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"extrareq/internal/apps"
@@ -24,9 +25,22 @@ import (
 //	GET  /v1/campaigns/{key}      fetch a finished campaign from the cache
 //	GET  /v1/campaigns/{key}/models  fit and fetch the Table II requirement models
 //	GET  /v1/jobs/{key}           poll progress (watch=1 streams snapshots)
+//	GET  /v1/points/{key}         fetch one raw cache entry (point or campaign)
+//	PUT  /v1/points/{key}         publish one raw cache entry (idempotent)
 //	GET  /healthz                 liveness (always 200 while the process runs)
-//	GET  /readyz                  readiness (503 once draining)
+//	GET  /readyz                  readiness (503 only while draining; degraded-but-serving is 200 with a status body)
 //	GET  /metrics                 obs registry snapshot as JSON
+//
+// The /v1/points pair is the remote point-store protocol spoken by
+// campaign.RemoteStore: peers without a shared filesystem shard one
+// campaign's measurements by reading and publishing content-addressed
+// entries here. Keys are content hashes, so PUT is idempotent (racing
+// writers carry identical bytes) and a GET body can never go stale —
+// the entry's key IS its ETag, and If-None-Match gets a body-free 304.
+// Successful POST /v1/campaigns responses carry points_reused /
+// points_measured so clients can see how much of the campaign was
+// assembled from the cache versus executed (see outcomeBody); the same
+// split appears live in /v1/jobs snapshots.
 //
 // Tenancy is declared per request with the X-Tenant header (default
 // "default"); admission control buckets by that name.
@@ -67,6 +81,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{key}", s.handleGet)
 	mux.HandleFunc("GET /v1/campaigns/{key}/models", s.handleModels)
 	mux.HandleFunc("GET /v1/jobs/{key}", s.handleJob)
+	mux.HandleFunc("GET /v1/points/{key}", s.handlePointGet)
+	mux.HandleFunc("PUT /v1/points/{key}", s.handlePointPut)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -258,7 +274,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.watchJob(w, r, key)
 		return
 	}
-	st, ok := s.Job(key)
+	st, ok := s.Job(r.Context(), key)
 	if !ok {
 		writeError(w, http.StatusNotFound, 0, "no active flight or cached result for key")
 		return
@@ -280,7 +296,7 @@ func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, key campaign.K
 	ticker := time.NewTicker(100 * time.Millisecond)
 	defer ticker.Stop()
 	for {
-		st, ok := s.Job(key)
+		st, ok := s.Job(r.Context(), key)
 		if !ok {
 			fmt.Fprintf(w, "event: gone\ndata: {}\n\n")
 			flusher.Flush()
@@ -300,6 +316,89 @@ func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, key campaign.K
 	}
 }
 
+// handlePointGet serves one raw cache entry for the remote point-store
+// protocol. The entry's content-hash key doubles as a strong ETag: a
+// client that already holds the bytes sends If-None-Match and gets a
+// body-free 304, which matters when polling peers over slow links.
+// Entries of both granularities are served — peers write campaign
+// entries through the same store as point entries.
+func (s *Server) handlePointGet(w http.ResponseWriter, r *http.Request) {
+	key, err := campaign.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, 0, err.Error())
+		return
+	}
+	s.countPoints("server_points_get_total")
+	etag := `"` + key.String() + `"`
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, etag) {
+		// Content-addressed entries are immutable: holding any version of
+		// the bytes means holding the current one.
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	data, ok := s.opts.Runner.LookupEntry(r.Context(), key)
+	if !ok {
+		writeError(w, http.StatusNotFound, 0, "no cache entry for key")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", etag)
+	w.Write(data)
+}
+
+// handlePointPut accepts one raw cache entry from a peer. The write is
+// idempotent — the key is a content hash, so racing writers carry the
+// same bytes and re-publishing is harmless — and validated: bytes that do
+// not decode under the key (garbage, stale KeyVersion, mismatched hash)
+// are rejected with 422 so one confused peer cannot poison the shared
+// cache. Success is 204.
+func (s *Server) handlePointPut(w http.ResponseWriter, r *http.Request) {
+	key, err := campaign.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, 0, err.Error())
+		return
+	}
+	s.countPoints("server_points_put_total")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, 0, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, 0, "cache entry exceeds 1 MiB")
+		return
+	}
+	if err := s.opts.Runner.PutEntry(r.Context(), key, body); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, 0, fmt.Sprintf("rejected cache entry: %v", err))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// countPoints bumps one of the points-endpoint traffic counters; the smoke
+// harness reconciles shard traffic against them.
+func (s *Server) countPoints(name string) {
+	if s.opts.Metrics != nil {
+		s.opts.Metrics.Counter(name).Inc()
+	}
+}
+
+// etagMatches implements the slice of If-None-Match we need: a literal
+// match against the quoted key, any member of a comma-separated list, or
+// the wildcard.
+func etagMatches(header, etag string) bool {
+	if header == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		if strings.TrimPrefix(strings.TrimSpace(part), "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
 // lookupKey resolves the {key} path segment against the cache, writing the
 // 400/404 itself on failure.
 func (s *Server) lookupKey(w http.ResponseWriter, r *http.Request) (campaign.Key, *workload.Campaign, *workload.CampaignReport, bool) {
@@ -308,7 +407,7 @@ func (s *Server) lookupKey(w http.ResponseWriter, r *http.Request) (campaign.Key
 		writeError(w, http.StatusBadRequest, 0, err.Error())
 		return campaign.Key{}, nil, nil, false
 	}
-	data, ok := s.opts.Runner.Lookup(key)
+	data, ok := s.opts.Runner.Lookup(r.Context(), key)
 	if !ok {
 		writeError(w, http.StatusNotFound, 0, "no cached campaign for key")
 		return campaign.Key{}, nil, nil, false
@@ -326,14 +425,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "{\"status\":\"ok\",\"state\":%q}\n", s.State())
 }
 
+// handleReady reports readiness. Only the drain lifecycle makes the
+// server unready (503): a degraded persistence tier — writes latched off
+// after a disk failure, a remote breaker open — still serves campaigns
+// correctly, just without the broken tier's benefit, so those states
+// answer 200 with a status body naming the degradation. Operators (and
+// load balancers) can thus tell "take it out of rotation" from "keep
+// sending traffic, but someone should look at the cache".
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	state := s.State()
+	st := s.opts.Runner.StoreStatus()
 	w.Header().Set("Content-Type", "application/json")
 	if state != StateServing {
 		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
-	fmt.Fprintf(w, "{\"state\":%q}\n", state)
+	json.NewEncoder(w).Encode(map[string]any{
+		"state":           state.String(),
+		"store":           st.Kind,
+		"degraded":        st.Degraded(),
+		"writes_degraded": st.WritesDegraded,
+		"breaker_open":    st.BreakerOpen,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

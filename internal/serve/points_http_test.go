@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"extrareq/internal/apps"
+	"extrareq/internal/campaign"
+	"extrareq/internal/obs"
+	"extrareq/internal/workload"
+)
+
+// doReq is a bare http.Client round trip with optional headers.
+func doReq(t *testing.T, method, url string, body []byte, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// campaignEntry measures a small campaign on a throwaway scheduler and
+// returns its key and stored bytes — a valid campaign-granularity entry.
+func campaignEntry(t *testing.T) (campaign.Key, []byte) {
+	t.Helper()
+	sched, err := campaign.New(campaign.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	app, _ := apps.ByName("Kripke")
+	req := campaign.Request{App: app, Grid: workload.Grid{Procs: []int{2}, Ns: []int{64}, Seed: 11}}
+	if _, err := sched.Run(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	key := campaign.ComputeKey(req)
+	data, ok := sched.Lookup(context.Background(), key)
+	if !ok {
+		t.Fatal("no cache entry after Run")
+	}
+	return key, data
+}
+
+// The points endpoints round-trip raw cache entries: PUT validates and
+// stores, GET serves with the key as a strong ETag, If-None-Match saves
+// the body, and garbage is rejected before it can poison the store.
+func TestHTTPPointsGetPutRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newHTTPServer(t, Options{Metrics: reg})
+	key, data := campaignEntry(t)
+	url := ts.URL + "/v1/points/" + key.String()
+
+	resp, _ := doReq(t, http.MethodGet, url, nil, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET before PUT: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = doReq(t, http.MethodPut, url, data, nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: %d, want 204", resp.StatusCode)
+	}
+	// Idempotent: the same bytes land again without complaint.
+	resp, _ = doReq(t, http.MethodPut, url, data, nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("second PUT: %d, want 204", resp.StatusCode)
+	}
+
+	wantETag := `"` + key.String() + `"`
+	resp, body := doReq(t, http.MethodGet, url, nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET after PUT: %d, want 200", resp.StatusCode)
+	}
+	if !bytes.Equal(body, data) {
+		t.Error("GET returned different bytes than PUT sent")
+	}
+	if got := resp.Header.Get("ETag"); got != wantETag {
+		t.Errorf("ETag = %q, want %q", got, wantETag)
+	}
+
+	// Conditional GET: holding any version of content-addressed bytes
+	// means holding the current one.
+	for _, match := range []string{wantETag, "*", `"other", ` + wantETag, "W/" + wantETag} {
+		resp, body = doReq(t, http.MethodGet, url, nil, map[string]string{"If-None-Match": match})
+		if resp.StatusCode != http.StatusNotModified {
+			t.Errorf("If-None-Match %q: %d, want 304", match, resp.StatusCode)
+		}
+		if len(body) != 0 {
+			t.Errorf("304 carried a %d-byte body", len(body))
+		}
+	}
+	resp, _ = doReq(t, http.MethodGet, url, nil, map[string]string{"If-None-Match": `"nope"`})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("non-matching If-None-Match: %d, want 200", resp.StatusCode)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["server_points_get_total"]; got != 7 {
+		t.Errorf("server_points_get_total = %d, want 7", got)
+	}
+	if got := snap.Counters["server_points_put_total"]; got != 2 {
+		t.Errorf("server_points_put_total = %d, want 2", got)
+	}
+}
+
+func TestHTTPPointsPutRejectsGarbage(t *testing.T) {
+	_, ts := newHTTPServer(t, Options{})
+	key, data := campaignEntry(t)
+
+	// Bytes that don't decode at all.
+	resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/points/"+key.String(), []byte("{not json"), nil)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("garbage PUT: %d, want 422", resp.StatusCode)
+	}
+	// Valid bytes under the wrong key: the embedded key disagrees.
+	other := campaign.ComputePointKey(campaign.Request{Grid: workload.Grid{Procs: []int{2}, Ns: []int{64}}}, 2, 64)
+	resp, body := doReq(t, http.MethodPut, ts.URL+"/v1/points/"+other.String(), data, nil)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("mismatched-key PUT: %d, want 422 (body %s)", resp.StatusCode, body)
+	}
+	// Malformed key in the path.
+	resp, _ = doReq(t, http.MethodPut, ts.URL+"/v1/points/zzz", data, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad-key PUT: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = doReq(t, http.MethodGet, ts.URL+"/v1/points/zzz", nil, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad-key GET: %d, want 400", resp.StatusCode)
+	}
+	// Oversized body.
+	resp, _ = doReq(t, http.MethodPut, ts.URL+"/v1/points/"+key.String(), make([]byte, maxBodyBytes+1), nil)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversize PUT: %d, want 413", resp.StatusCode)
+	}
+}
+
+// /readyz distinguishes lifecycle (drain → 503) from degradation (breaker
+// open, writes latched → 200 with a status body): load balancers must not
+// eject an instance that still serves correctly.
+func TestHTTPReadyDegradedStillServing(t *testing.T) {
+	stub := &stubRunner{status: campaign.StoreStatus{Kind: "tiered", BreakerOpen: true, WritesDegraded: true}}
+	s, err := New(Options{Runner: stub, Metrics: obs.NewRegistry(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/readyz", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded /readyz: %d, want 200 — degradation is not unreadiness", resp.StatusCode)
+	}
+	var st struct {
+		State          string `json:"state"`
+		Store          string `json:"store"`
+		Degraded       bool   `json:"degraded"`
+		WritesDegraded bool   `json:"writes_degraded"`
+		BreakerOpen    bool   `json:"breaker_open"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decoding /readyz body %s: %v", body, err)
+	}
+	if st.State != "serving" || st.Store != "tiered" || !st.Degraded || !st.WritesDegraded || !st.BreakerOpen {
+		t.Errorf("/readyz body = %+v, want serving/tiered/degraded", st)
+	}
+
+	// Draining still wins: lifecycle is what unreadies the instance.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = doReq(t, http.MethodGet, ts.URL+"/readyz", nil, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("drained /readyz: %d, want 503", resp.StatusCode)
+	}
+}
+
+// The e2e sharding acceptance test: two worker schedulers share nothing
+// but a remote point store — the /v1/points surface of a third, hosting
+// server — and still shard overlapping grids: every shared point is
+// measured at most once across the fleet, and each report is
+// byte-identical to a cold, cacheless run of the same grid.
+func TestRemoteShardingAcrossSchedulers(t *testing.T) {
+	reg := obs.NewRegistry()
+	host, err := campaign.New(campaign.Options{Workers: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	hs, err := New(Options{Runner: host, Metrics: reg, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(hs.Handler())
+	defer ts.Close()
+
+	app, _ := apps.ByName("Kripke")
+	mkWorker := func() (*campaign.Scheduler, *campaign.RemoteStore) {
+		t.Helper()
+		remote, err := campaign.NewRemoteStore(ts.URL, campaign.RemoteOptions{Client: ts.Client(), Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := campaign.New(campaign.Options{Workers: 2, Store: remote, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+		return w, remote
+	}
+	w1, _ := mkWorker()
+	w2, _ := mkWorker()
+	w3, _ := mkWorker()
+
+	// G1 on w1 seeds the remote store. G2 (w2) and G3 (w3) then run
+	// concurrently; their mutual overlap (the n=64 column) is contained in
+	// G1, so every shared point must be assembled over the wire, never
+	// re-measured.
+	g1 := workload.Grid{Procs: []int{2, 4}, Ns: []int{64, 128}, Seed: 7}
+	g2 := workload.Grid{Procs: []int{2, 4}, Ns: []int{64, 192}, Seed: 7}
+	g3 := workload.Grid{Procs: []int{2, 4}, Ns: []int{64, 256}, Seed: 7}
+	if _, err := w1.Run(context.Background(), campaign.Request{App: app, Grid: g1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var out2, out3 *campaign.Outcome
+	var err2, err3 error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		out2, err2 = w2.Run(context.Background(), campaign.Request{App: app, Grid: g2})
+	}()
+	go func() {
+		defer wg.Done()
+		out3, err3 = w3.Run(context.Background(), campaign.Request{App: app, Grid: g3})
+	}()
+	wg.Wait()
+	if err2 != nil || err3 != nil {
+		t.Fatalf("concurrent sharded runs: %v / %v", err2, err3)
+	}
+	if out2.PointsReused != 2 || out2.PointsMeasured != 2 {
+		t.Errorf("G2 reused %d / measured %d, want 2 / 2", out2.PointsReused, out2.PointsMeasured)
+	}
+	if out3.PointsReused != 2 || out3.PointsMeasured != 2 {
+		t.Errorf("G3 reused %d / measured %d, want 2 / 2", out3.PointsReused, out3.PointsMeasured)
+	}
+
+	// Reports byte-identical to cold runs on a cacheless scheduler.
+	cold, err := campaign.New(campaign.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	for _, tc := range []struct {
+		grid workload.Grid
+		out  *campaign.Outcome
+	}{{g2, out2}, {g3, out3}} {
+		want, err := cold.Run(context.Background(), campaign.Request{App: app, Grid: tc.grid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRep, _ := json.Marshal(tc.out.Report)
+		wantRep, _ := json.Marshal(want.Report)
+		if !bytes.Equal(gotRep, wantRep) {
+			t.Errorf("sharded report over %v differs from cold run", tc.grid.Ns)
+		}
+		gotC, _ := json.Marshal(tc.out.Campaign)
+		wantC, _ := json.Marshal(want.Campaign)
+		if !bytes.Equal(gotC, wantC) {
+			t.Errorf("sharded campaign over %v differs from cold run", tc.grid.Ns)
+		}
+	}
+
+	// The host observed real point traffic; the smoke harness reconciles
+	// these same counters across processes.
+	snap := reg.Snapshot()
+	if snap.Counters["server_points_put_total"] == 0 {
+		t.Error("host saw no point PUTs")
+	}
+	if snap.Counters["server_points_get_total"] == 0 {
+		t.Error("host saw no point GETs")
+	}
+}
+
+// A whole-campaign repeat is served across the wire too: a second worker
+// submitting an identical request gets a campaign-level cache hit
+// assembled from the remote entry, running nothing.
+func TestRemoteCampaignLevelHit(t *testing.T) {
+	host, err := campaign.New(campaign.Options{Workers: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	hs, err := New(Options{Runner: host, Metrics: obs.NewRegistry(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(hs.Handler())
+	defer ts.Close()
+
+	app, _ := apps.ByName("Kripke")
+	grid := workload.Grid{Procs: []int{2, 4}, Ns: []int{64, 128}, Seed: 9, Repeats: 2}
+	mk := func() *campaign.Scheduler {
+		remote, err := campaign.NewRemoteStore(ts.URL, campaign.RemoteOptions{Client: ts.Client(), Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := campaign.New(campaign.Options{Workers: 2, Store: remote, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+		return w
+	}
+	w1, w2 := mk(), mk()
+	cold, err := w1.Run(context.Background(), campaign.Request{App: app, Grid: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := w2.Run(context.Background(), campaign.Request{App: app, Grid: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("identical campaign on a fresh worker was not a remote cache hit")
+	}
+	coldRep, _ := json.Marshal(cold.Report)
+	warmRep, _ := json.Marshal(warm.Report)
+	if !bytes.Equal(coldRep, warmRep) {
+		t.Error("remote campaign hit is not byte-identical")
+	}
+}

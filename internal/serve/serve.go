@@ -56,8 +56,16 @@ import (
 // substitute controllable fakes; production wires the real scheduler.
 type Runner interface {
 	Run(ctx context.Context, req campaign.Request) (*campaign.Outcome, error)
-	Lookup(k campaign.Key) ([]byte, bool)
-	Flush() error
+	Lookup(ctx context.Context, k campaign.Key) ([]byte, bool)
+	// LookupEntry and PutEntry are the point-protocol surface
+	// (GET/PUT /v1/points/{key}): entries at either granularity, validated
+	// on write so peers cannot poison the cache.
+	LookupEntry(ctx context.Context, k campaign.Key) ([]byte, bool)
+	PutEntry(ctx context.Context, k campaign.Key, data []byte) error
+	// StoreStatus feeds /readyz: degraded persistence is reported as
+	// status, not unreadiness.
+	StoreStatus() campaign.StoreStatus
+	Flush(ctx context.Context) error
 }
 
 // Admission/lifecycle errors. They surface wrapped in a ShedError carrying
@@ -174,6 +182,12 @@ type JobStatus struct {
 	// (0/0 until the runner reports).
 	DoneConfigs  int `json:"done_configs"`
 	TotalConfigs int `json:"total_configs"`
+	// PointsReused/PointsMeasured split the finished configurations into
+	// assembly (served from the point cache) versus execution (measured by
+	// this flight), so clients can watch how much of a running campaign is
+	// being reused.
+	PointsReused   int `json:"points_reused"`
+	PointsMeasured int `json:"points_measured"`
 	// Waiters is the number of clients currently attached.
 	Waiters int `json:"waiters"`
 	// Attached counts every submission that ever joined this flight.
@@ -217,6 +231,8 @@ type flight struct {
 	attached atomic.Int64
 	doneCfg  atomic.Int64
 	totalCfg atomic.Int64
+	reused   atomic.Int64
+	measured atomic.Int64
 }
 
 // New builds a Server around opts.Runner.
@@ -399,6 +415,10 @@ func (s *Server) execute(ctx context.Context, f *flight, req campaign.Request) {
 		f.doneCfg.Store(int64(done))
 		f.totalCfg.Store(int64(total))
 	}
+	req.PointProgress = func(reused, measured int) {
+		f.reused.Store(int64(reused))
+		f.measured.Store(int64(measured))
+	}
 	out, err := s.opts.Runner.Run(ctx, req)
 	f.out, f.err = out, err
 	if err == nil {
@@ -423,25 +443,27 @@ func (s *Server) execute(ctx context.Context, f *flight, req campaign.Request) {
 
 // Job reports progress for a key: an active flight ("running"), a cached
 // result ("done"), or nothing.
-func (s *Server) Job(key campaign.Key) (JobStatus, bool) {
+func (s *Server) Job(ctx context.Context, key campaign.Key) (JobStatus, bool) {
 	s.mu.Lock()
 	f, ok := s.flights[key]
 	var st JobStatus
 	if ok {
 		st = JobStatus{
-			Key:          key.String(),
-			State:        "running",
-			DoneConfigs:  int(f.doneCfg.Load()),
-			TotalConfigs: int(f.totalCfg.Load()),
-			Waiters:      f.waiters,
-			Attached:     f.attached.Load(),
+			Key:            key.String(),
+			State:          "running",
+			DoneConfigs:    int(f.doneCfg.Load()),
+			TotalConfigs:   int(f.totalCfg.Load()),
+			PointsReused:   int(f.reused.Load()),
+			PointsMeasured: int(f.measured.Load()),
+			Waiters:        f.waiters,
+			Attached:       f.attached.Load(),
 		}
 	}
 	s.mu.Unlock()
 	if ok {
 		return st, true
 	}
-	if _, ok := s.opts.Runner.Lookup(key); ok {
+	if _, ok := s.opts.Runner.Lookup(ctx, key); ok {
 		return JobStatus{Key: key.String(), State: "done", Cached: true}, true
 	}
 	return JobStatus{}, false
@@ -482,7 +504,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.baseCancel()
 		<-done
 	}
-	err := s.opts.Runner.Flush()
+	err := s.opts.Runner.Flush(ctx)
 	if err != nil {
 		s.logf("reqserve: cache flush during drain failed: %v", err)
 	}
@@ -544,13 +566,18 @@ func (b *bucket) take(now time.Time, rate, burst float64) time.Duration {
 }
 
 // outcomeBody is the canonical JSON shape of a finished submission, shared
-// by the submit and fetch-by-key endpoints.
+// by the submit and fetch-by-key endpoints. points_reused/points_measured
+// split the campaign into assembly (configurations served from the point
+// cache, including everything behind a whole-campaign cache hit) versus
+// execution (configurations this submission actually measured).
 type outcomeBody struct {
-	Key      string                   `json:"key"`
-	App      string                   `json:"app"`
-	CacheHit bool                     `json:"cache_hit"`
-	Campaign *workload.Campaign       `json:"campaign"`
-	Report   *workload.CampaignReport `json:"report"`
+	Key            string                   `json:"key"`
+	App            string                   `json:"app"`
+	CacheHit       bool                     `json:"cache_hit"`
+	PointsReused   int                      `json:"points_reused"`
+	PointsMeasured int                      `json:"points_measured"`
+	Campaign       *workload.Campaign       `json:"campaign"`
+	Report         *workload.CampaignReport `json:"report"`
 }
 
 // encodeOutcome builds the response bytes exactly once per flight; every
@@ -561,10 +588,12 @@ func encodeOutcome(out *campaign.Outcome) ([]byte, error) {
 		app = out.Campaign.App
 	}
 	return json.Marshal(&outcomeBody{
-		Key:      out.Key.String(),
-		App:      app,
-		CacheHit: out.CacheHit,
-		Campaign: out.Campaign,
-		Report:   out.Report,
+		Key:            out.Key.String(),
+		App:            app,
+		CacheHit:       out.CacheHit,
+		PointsReused:   out.PointsReused,
+		PointsMeasured: out.PointsMeasured,
+		Campaign:       out.Campaign,
+		Report:         out.Report,
 	})
 }

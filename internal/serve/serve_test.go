@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,6 +29,7 @@ type stubRunner struct {
 
 	mu     sync.Mutex
 	lookup map[string][]byte
+	status campaign.StoreStatus
 }
 
 func (r *stubRunner) Run(ctx context.Context, req campaign.Request) (*campaign.Outcome, error) {
@@ -57,14 +59,33 @@ func (r *stubRunner) Run(ctx context.Context, req campaign.Request) (*campaign.O
 	}, nil
 }
 
-func (r *stubRunner) Lookup(k campaign.Key) ([]byte, bool) {
+func (r *stubRunner) Lookup(_ context.Context, k campaign.Key) ([]byte, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	data, ok := r.lookup[k.String()]
 	return data, ok
 }
 
-func (r *stubRunner) Flush() error {
+func (r *stubRunner) LookupEntry(ctx context.Context, k campaign.Key) ([]byte, bool) {
+	return r.Lookup(ctx, k)
+}
+
+func (r *stubRunner) PutEntry(_ context.Context, k campaign.Key, data []byte) error {
+	if _, err := campaign.ValidateEntry(k, data); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lookup == nil {
+		r.lookup = map[string][]byte{}
+	}
+	r.lookup[k.String()] = data
+	return nil
+}
+
+func (r *stubRunner) StoreStatus() campaign.StoreStatus { return r.status }
+
+func (r *stubRunner) Flush(context.Context) error {
 	r.flushed.Add(1)
 	return nil
 }
@@ -419,7 +440,7 @@ func TestJobProgress(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, "progress reported", func() bool {
-		st, ok := s.Job(key)
+		st, ok := s.Job(context.Background(), key)
 		return ok && st.State == "running" && st.DoneConfigs == 1 && st.TotalConfigs == 2
 	})
 	close(stub.gate)
@@ -429,14 +450,14 @@ func TestJobProgress(t *testing.T) {
 		return len(s.flights) == 0
 	})
 	// Without a cache entry the job vanishes...
-	if _, ok := s.Job(key); ok {
+	if _, ok := s.Job(context.Background(), key); ok {
 		t.Fatal("finished, uncached job still reported")
 	}
 	// ...and with one it reports done/cached.
 	stub.mu.Lock()
 	stub.lookup[key.String()] = []byte("{}")
 	stub.mu.Unlock()
-	st, ok := s.Job(key)
+	st, ok := s.Job(context.Background(), key)
 	if !ok || st.State != "done" || !st.Cached {
 		t.Fatalf("cached job status = %+v, ok=%v; want done/cached", st, ok)
 	}
@@ -528,7 +549,31 @@ func TestAssembledResponseBytesMatchColdRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(cold.Body, warm.Body) {
-		t.Error("assembled response body differs from cold run body")
+	// The bodies differ only in the points_reused/points_measured
+	// provenance split (assembled: 2/2, cold: 0/4); everything the
+	// client consumes — key, campaign, report — must be byte-identical.
+	var warmBody, coldBody outcomeBody
+	if err := json.Unmarshal(warm.Body, &warmBody); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(cold.Body, &coldBody); err != nil {
+		t.Fatal(err)
+	}
+	if coldBody.PointsReused != 0 || coldBody.PointsMeasured != 4 {
+		t.Errorf("cold run reused %d / measured %d points, want 0 / 4",
+			coldBody.PointsReused, coldBody.PointsMeasured)
+	}
+	warmBody.PointsReused, warmBody.PointsMeasured = 0, 0
+	coldBody.PointsReused, coldBody.PointsMeasured = 0, 0
+	wb, err := json.Marshal(&warmBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := json.Marshal(&coldBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wb, cb) {
+		t.Error("assembled response differs from cold run beyond the provenance split")
 	}
 }

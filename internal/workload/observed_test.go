@@ -3,6 +3,7 @@ package workload
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -87,7 +88,7 @@ func TestObservedCampaignTraceReconcilesWithSamples(t *testing.T) {
 		Metrics: reg,
 		Tracer:  tr,
 	}
-	c, report, err := r.Run(resilientGrid)
+	c, report, err := r.Run(context.Background(), resilientGrid)
 	if err != nil {
 		t.Fatalf("campaign failed: %v\n%s", err, report.Render())
 	}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"sort"
 	"sync"
@@ -29,13 +30,13 @@ func TestPrefillAssemblesByteIdenticalCampaign(t *testing.T) {
 	var mu sync.Mutex
 	ref := &ResilientRunner{
 		App: ringApp{},
-		OnConfig: func(s Sample, out ConfigOutcome) {
+		OnConfig: func(_ context.Context, s Sample, out ConfigOutcome) {
 			mu.Lock()
 			harvest[[2]int{out.P, out.N}] = point{s, out}
 			mu.Unlock()
 		},
 	}
-	wantC, wantRep, err := ref.Run(grid)
+	wantC, wantRep, err := ref.Run(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestPrefillAssemblesByteIdenticalCampaign(t *testing.T) {
 	var dones []int
 	r := &ResilientRunner{
 		App: ringApp{},
-		Prefill: func(p, n int) (Sample, ConfigOutcome, bool) {
+		Prefill: func(_ context.Context, p, n int) (Sample, ConfigOutcome, bool) {
 			prefillAsked = append(prefillAsked, [2]int{p, n})
 			if n != 32 {
 				return Sample{}, ConfigOutcome{}, false
@@ -57,7 +58,7 @@ func TestPrefillAssemblesByteIdenticalCampaign(t *testing.T) {
 			pt := harvest[[2]int{p, n}]
 			return pt.s, pt.out, true
 		},
-		OnConfig: func(s Sample, out ConfigOutcome) {
+		OnConfig: func(_ context.Context, s Sample, out ConfigOutcome) {
 			mu.Lock()
 			fresh = append(fresh, [2]int{out.P, out.N})
 			mu.Unlock()
@@ -71,7 +72,7 @@ func TestPrefillAssemblesByteIdenticalCampaign(t *testing.T) {
 			}
 		},
 	}
-	gotC, gotRep, err := r.Run(grid)
+	gotC, gotRep, err := r.Run(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,12 +112,12 @@ func TestPrefillFullGridRunsNothing(t *testing.T) {
 	grid := Grid{Procs: []int{2, 4}, Ns: []int{32, 64}, Seed: 42}
 	harvest := map[[2]int]Sample{}
 	var mu sync.Mutex
-	ref := &ResilientRunner{App: ringApp{}, OnConfig: func(s Sample, out ConfigOutcome) {
+	ref := &ResilientRunner{App: ringApp{}, OnConfig: func(_ context.Context, s Sample, out ConfigOutcome) {
 		mu.Lock()
 		harvest[[2]int{out.P, out.N}] = s
 		mu.Unlock()
 	}}
-	wantC, wantRep, err := ref.Run(grid)
+	wantC, wantRep, err := ref.Run(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,13 +125,13 @@ func TestPrefillFullGridRunsNothing(t *testing.T) {
 	var dones []int
 	r := &ResilientRunner{
 		App: probelessApp{},
-		Prefill: func(p, n int) (Sample, ConfigOutcome, bool) {
+		Prefill: func(_ context.Context, p, n int) (Sample, ConfigOutcome, bool) {
 			return harvest[[2]int{p, n}], ConfigOutcome{P: p, N: n, Attempts: 1}, true
 		},
-		OnConfig: func(Sample, ConfigOutcome) { t.Error("OnConfig fired on a fully prefilled grid") },
+		OnConfig: func(context.Context, Sample, ConfigOutcome) { t.Error("OnConfig fired on a fully prefilled grid") },
 		Progress: func(done, total int) { dones = append(dones, done) },
 	}
-	gotC, gotRep, err := r.Run(grid)
+	gotC, gotRep, err := r.Run(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"testing"
@@ -29,7 +30,7 @@ func TestResilientRunnerProgress(t *testing.T) {
 			mu.Unlock()
 		},
 	}
-	if _, _, err := r.Run(grid); err != nil {
+	if _, _, err := r.Run(context.Background(), grid); err != nil {
 		t.Fatal(err)
 	}
 	wantTotal := len(grid.Procs) * len(grid.Ns)

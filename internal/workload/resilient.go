@@ -85,21 +85,24 @@ type ResilientRunner struct {
 	// any measurement starts.
 	Progress func(done, total int)
 	// Prefill, when non-nil, is consulted once per grid configuration
-	// before any measurement. Returning ok=true supplies that
+	// before any measurement, under the context Run was given (a remote
+	// point store turns each consult into an HTTP request, which must
+	// inherit the campaign's deadline). Returning ok=true supplies that
 	// configuration's sample and outcome without running anything — the
 	// point-level campaign cache uses this to measure only the points a
 	// previous campaign did not already cover. Prefilled results must be
 	// what a fresh measurement would have produced (the runner trusts them
 	// verbatim when assembling the campaign and report). Prefill is called
 	// serially from Run, in grid (p-major, n-minor) order.
-	Prefill func(p, n int) (Sample, ConfigOutcome, bool)
+	Prefill func(ctx context.Context, p, n int) (Sample, ConfigOutcome, bool)
 	// OnConfig, when non-nil, receives every freshly measured
 	// configuration's result the moment it completes (prefilled
-	// configurations are not re-announced). Calls may arrive concurrently
-	// from workers; the point cache uses this to publish per-point entries
-	// while the campaign is still running, so other processes sharing the
-	// store can reuse them immediately.
-	OnConfig func(s Sample, out ConfigOutcome)
+	// configurations are not re-announced), under the context Run was
+	// given. Calls may arrive concurrently from workers; the point cache
+	// uses this to publish per-point entries while the campaign is still
+	// running, so other processes sharing the store can reuse them
+	// immediately.
+	OnConfig func(ctx context.Context, s Sample, out ConfigOutcome)
 }
 
 // Resilience defaults.
@@ -388,10 +391,16 @@ func ownPoolExec(workers int, app string) ExecFunc {
 
 // Run measures the app over the grid with retries and quarantine, and
 // returns the campaign of surviving samples (p-major/n-minor order, lost
-// configurations omitted) together with the campaign report. Run fails
-// only when the grid is invalid or when no configuration survives; losing
-// part of the grid degrades the report instead.
-func (r *ResilientRunner) Run(grid Grid) (*Campaign, *CampaignReport, error) {
+// configurations omitted) together with the campaign report. ctx reaches
+// the Prefill and OnConfig hooks (nil counts as context.Background());
+// measurement itself is cancelled through the Exec seam, which schedulers
+// derive from the same context. Run fails only when the grid is invalid
+// or when no configuration survives; losing part of the grid degrades the
+// report instead.
+func (r *ResilientRunner) Run(ctx context.Context, grid Grid) (*Campaign, *CampaignReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if r.App == nil {
 		return nil, nil, fmt.Errorf("workload: ResilientRunner has no App")
 	}
@@ -420,7 +429,7 @@ func (r *ResilientRunner) Run(grid Grid) (*Campaign, *CampaignReport, error) {
 		}
 	} else {
 		for i, c := range configs {
-			if s, out, ok := r.Prefill(c.p, c.n); ok {
+			if s, out, ok := r.Prefill(ctx, c.p, c.n); ok {
 				samples[i], outcomes[i] = s, out
 				continue
 			}
@@ -472,7 +481,7 @@ func (r *ResilientRunner) Run(grid Grid) (*Campaign, *CampaignReport, error) {
 		p, n := configs[i].p, configs[i].n
 		samples[i], outcomes[i] = r.measureConfig(grid, p, n, stackByN[n], cm)
 		if r.OnConfig != nil {
-			r.OnConfig(samples[i], outcomes[i])
+			r.OnConfig(ctx, samples[i], outcomes[i])
 		}
 		if r.Progress != nil {
 			r.Progress(int(finished.Add(1)), len(configs))
@@ -520,8 +529,8 @@ func (r *ResilientRunner) minPoints() int {
 // axis warnings that tell the caller how constrained those models really
 // are. The fit error (e.g. a metric with no surviving measurements) is
 // returned alongside the report, never silently.
-func (r *ResilientRunner) RunAndFit(grid Grid, opts *modeling.Options) (*Campaign, *FitResult, *CampaignReport, error) {
-	c, report, err := r.Run(grid)
+func (r *ResilientRunner) RunAndFit(ctx context.Context, grid Grid, opts *modeling.Options) (*Campaign, *FitResult, *CampaignReport, error) {
+	c, report, err := r.Run(ctx, grid)
 	if err != nil {
 		return nil, nil, report, err
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -63,7 +64,7 @@ func TestResilientFullRecovery(t *testing.T) {
 		MinPoints:  2,
 		Sleep:      noSleep,
 	}
-	c, report, err := r.Run(resilientGrid)
+	c, report, err := r.Run(context.Background(), resilientGrid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestResilientAllQuarantined(t *testing.T) {
 	plan := simmpi.NewFaultPlan(2)
 	plan.KillRank, plan.KillEvent = 0, 3
 	r := &ResilientRunner{App: ringApp{}, Faults: plan, Retries: 1, RunTimeout: 2 * time.Second, Sleep: noSleep}
-	c, report, err := r.Run(resilientGrid)
+	c, report, err := r.Run(context.Background(), resilientGrid)
 	if err == nil {
 		t.Fatalf("campaign with unrecoverable faults reported success: %+v", c)
 	}
@@ -128,7 +129,7 @@ func TestResilientPartialQuarantineDegrades(t *testing.T) {
 	plan := simmpi.NewFaultPlan(7)
 	plan.Kill = 0.6
 	r := &ResilientRunner{App: ringApp{}, Faults: plan, Retries: 0, RunTimeout: 2 * time.Second, Sleep: noSleep}
-	c, report, err := r.Run(resilientGrid)
+	c, report, err := r.Run(context.Background(), resilientGrid)
 	if err != nil {
 		t.Fatalf("partial loss must degrade, not fail: %v", err)
 	}
@@ -178,7 +179,7 @@ func TestResilientDeterministicAcrossWorkers(t *testing.T) {
 			Workers:    workers,
 			Sleep:      noSleep,
 		}
-		c, report, err := r.Run(resilientGrid)
+		c, report, err := r.Run(context.Background(), resilientGrid)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -217,7 +218,7 @@ func TestRunAndFitDegraded(t *testing.T) {
 	// value survives in at least one configuration; with kill=0.5 and one
 	// retry roughly a quarter of the configurations are quarantined.
 	grid := Grid{Procs: []int{2, 3, 4, 5, 6}, Ns: []int{32, 40, 48, 56, 64}, Seed: 42}
-	c, fit, report, err := r.RunAndFit(grid, nil)
+	c, fit, report, err := r.RunAndFit(context.Background(), grid, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestRunAndFitDegraded(t *testing.T) {
 // RunParallel with insurance — same campaign, clean report.
 func TestResilientHealthySystemNoOverhead(t *testing.T) {
 	r := &ResilientRunner{App: apps.NewKripke(), Retries: 2, MinPoints: 2, Sleep: noSleep}
-	c, report, err := r.Run(resilientGrid)
+	c, report, err := r.Run(context.Background(), resilientGrid)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,8 +50,45 @@ type runConfig struct {
 	reg       *MetricsRegistry
 	tracer    *Tracer
 	cacheDir  string
+	remoteURL string
+	store     campaign.Store
 	modelOpts *ModelOptions
 	model     bool
+}
+
+// buildStore resolves the cache options into scheduler Options plus a
+// cleanup to run after the scheduler closes. Precedence: an explicit
+// WithStore wins outright; a remote URL alone selects a RemoteStore; a
+// remote URL with a cache dir layers the DiskStore over the remote as a
+// TieredStore (local reads first, asynchronous write-behind to the
+// remote); a cache dir alone keeps the classic DiskStore path.
+func (c *runConfig) buildStore() (campaign.Options, func(), error) {
+	nop := func() {}
+	switch {
+	case c.store != nil:
+		return campaign.Options{Store: c.store}, nop, nil
+	case c.remoteURL == "":
+		return campaign.Options{Dir: c.cacheDir}, nop, nil
+	}
+	remote, err := campaign.NewRemoteStore(c.remoteURL, campaign.RemoteOptions{Metrics: c.reg})
+	if err != nil {
+		return campaign.Options{}, nil, err
+	}
+	if c.cacheDir == "" {
+		return campaign.Options{Store: remote}, nop, nil
+	}
+	disk, err := campaign.OpenDiskStore(c.cacheDir)
+	if err != nil {
+		return campaign.Options{}, nil, err
+	}
+	tiered := campaign.NewTieredStore(disk, remote, campaign.TieredOptions{Metrics: c.reg})
+	cleanup := func() {
+		// Flush the write-behind queue so a short-lived CLI run publishes
+		// its points before exiting, then stop the worker.
+		tiered.Sync(context.Background())
+		tiered.Close()
+	}
+	return campaign.Options{Store: tiered}, cleanup, nil
 }
 
 func newRunConfig(opts []Option) runConfig {
@@ -102,6 +139,27 @@ func WithCache(dir string) Option {
 	return func(c *runConfig) { c.cacheDir = dir }
 }
 
+// WithRemoteCache points the campaign cache at a peer speaking the
+// reqserve point protocol (GET/PUT /v1/points/{key}) at baseURL, so
+// machines without a shared filesystem can shard one campaign's points.
+// Combined with WithCache(dir) the two tiers layer: reads try the local
+// directory first and fill it from the remote, writes land locally and
+// are streamed to the remote in the background. Remote failures never
+// fail a campaign — a circuit breaker degrades the remote tier to
+// miss-on-read / drop-on-write until the peer recovers (visible via the
+// store_remote_* metrics of WithObservability's registry).
+func WithRemoteCache(baseURL string) Option {
+	return func(c *runConfig) { c.remoteURL = baseURL }
+}
+
+// WithStore replaces the cache's persistent tier with a custom Store
+// implementation (overriding WithCache and WithRemoteCache). The
+// implementation must satisfy the campaign.Store contract:
+// concurrent-safe, tolerant loads, atomic writes.
+func WithStore(st Store) Option {
+	return func(c *runConfig) { c.store = st }
+}
+
 // WithModelOptions configures the Extra-P-style model generator.
 func WithModelOptions(mo *ModelOptions) Option {
 	return func(c *runConfig) { c.modelOpts = mo }
@@ -129,7 +187,12 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (*Result, error) {
 	if isZeroGrid(grid) {
 		grid = defaultGridFor(app.Name())
 	}
-	sched, err := campaign.New(campaign.Options{Dir: cfg.cacheDir})
+	schedOpts, cleanup, err := cfg.buildStore()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	sched, err := campaign.New(schedOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +235,12 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (*Result, error) {
 func RunAll(ctx context.Context, opts ...Option) ([]*Result, []ErrorClass, error) {
 	cfg := newRunConfig(opts)
 	all := apps.All()
-	sched, err := campaign.New(campaign.Options{Dir: cfg.cacheDir})
+	schedOpts, cleanup, err := cfg.buildStore()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cleanup()
+	sched, err := campaign.New(schedOpts)
 	if err != nil {
 		return nil, nil, err
 	}

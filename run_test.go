@@ -88,7 +88,7 @@ func TestRunMatchesLegacyResilientPipeline(t *testing.T) {
 	}
 	grid := smallGrid()
 	r := &ResilientRunner{App: app, Faults: plan, Retries: 2, MinPoints: 3}
-	wantC, wantRep, err := r.Run(grid) // the old MeasureResilient path
+	wantC, wantRep, err := r.Run(context.Background(), grid) // the old MeasureResilient path
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestRunAllDerivesPerAppPlans(t *testing.T) {
 	reports := make([]*CampaignReport, len(all))
 	for i, a := range all {
 		r := &ResilientRunner{App: a, Faults: plan.Derive(appSalt(a.Name())), Retries: 2}
-		campaigns[i], reports[i], err = r.Run(defaultGridFor(a.Name()))
+		campaigns[i], reports[i], err = r.Run(context.Background(), defaultGridFor(a.Name()))
 		if err != nil {
 			t.Fatalf("%s: %v", a.Name(), err)
 		}

@@ -45,7 +45,7 @@ go test -run=NONE -bench=BenchmarkMeasure -benchtime=1x ./...
 # performance across the repo's history is comparable without re-running old
 # revisions. BENCH_PR stamps the PR number; BENCH_TIME trades gate time for
 # measurement stability.
-BENCH_PR=${BENCH_PR:-8}
+BENCH_PR=${BENCH_PR:-9}
 BENCH_TIME=${BENCH_TIME:-0.3s}
 echo "== perf trajectory (BENCH_${BENCH_PR}.json, benchtime ${BENCH_TIME}) =="
 {
@@ -53,7 +53,7 @@ echo "== perf trajectory (BENCH_${BENCH_PR}.json, benchtime ${BENCH_TIME}) =="
         -benchmem -benchtime="${BENCH_TIME}" ./internal/modeling/
     go test -run=NONE -bench='BenchmarkFitPipeline' \
         -benchmem -benchtime="${BENCH_TIME}" .
-    go test -run=NONE -bench='BenchmarkMeasureCampaign|BenchmarkOverlap' \
+    go test -run=NONE -bench='BenchmarkMeasureCampaign|BenchmarkOverlap|BenchmarkRemote(Warm|Cold)' \
         -benchmem -benchtime=1x ./internal/campaign/
     go test -run=NONE -bench='BenchmarkServeThroughput' \
         -benchmem -benchtime="${BENCH_TIME}" ./internal/serve/

@@ -1,19 +1,41 @@
 #!/bin/sh
-# reqserve smoke: boot the daemon on an ephemeral port, prove the two
+# reqserve smoke: boot the daemon on an ephemeral port, prove the
 # operational properties the unit suite cannot — that a real process
-# coalesces concurrent identical HTTP submissions, and that SIGTERM drains
-# cleanly to exit 0 — then get out. Run by scripts/check.sh and CI.
+# coalesces concurrent identical HTTP submissions, that two further
+# processes shard overlapping grids through its /v1/points surface with no
+# shared filesystem, and that SIGTERM drains cleanly to exit 0 — then get
+# out. Run by scripts/check.sh and CI.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 TMP=$(mktemp -d)
 PID=""
+WPIDS=""
 cleanup() {
     [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    for p in $WPIDS; do
+        kill -9 "$p" 2>/dev/null || true
+    done
     rm -rf "$TMP"
 }
 trap cleanup EXIT INT TERM
+
+# wait_listen LOGFILE: block until the daemon logging there announces its
+# ephemeral address, then print the base URL.
+wait_listen() {
+    i=0
+    while ! grep -q "listening on" "$1"; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "reqserve never started; log:" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' "$1" | head -1
+}
 
 echo "-- building reqserve"
 go build -o "$TMP/reqserve" ./cmd/reqserve
@@ -22,18 +44,7 @@ go build -o "$TMP/reqserve" ./cmd/reqserve
     2> "$TMP/log" &
 PID=$!
 
-# The daemon logs its chosen ephemeral address; wait for the line.
-i=0
-while ! grep -q "listening on" "$TMP/log"; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ]; then
-        echo "reqserve never started; log:" >&2
-        cat "$TMP/log" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-BASE=$(sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' "$TMP/log" | head -1)
+BASE=$(wait_listen "$TMP/log")
 echo "-- reqserve up at $BASE"
 
 curl -sSf "$BASE/healthz" > /dev/null
@@ -88,6 +99,59 @@ curl -sSf "$BASE/v1/campaigns/$key" > /dev/null
 curl -sSf "$BASE/v1/campaigns/$key/models" | jq -e '.models | length > 0' > /dev/null
 echo "-- fetched campaign $key and its fitted models"
 
+# Remote sharding: two more reqserve processes, no cache-dir of their own,
+# point their stores at the first daemon's /v1/points surface. Worker B
+# measures a grid and publishes every point over HTTP; worker C then runs
+# an overlapping grid and must assemble the shared column from the host
+# instead of re-measuring it. The host's points counters reconcile the
+# traffic.
+echo "-- remote sharding: two workers against $BASE"
+"$TMP/reqserve" -addr 127.0.0.1:0 -cache-remote "$BASE" -drain-timeout 30s \
+    2> "$TMP/logB" &
+WPIDS="$WPIDS $!"
+"$TMP/reqserve" -addr 127.0.0.1:0 -cache-remote "$BASE" -drain-timeout 30s \
+    2> "$TMP/logC" &
+WPIDS="$WPIDS $!"
+BASE_B=$(wait_listen "$TMP/logB")
+BASE_C=$(wait_listen "$TMP/logC")
+
+puts0=$(metric server_points_put_total)
+bodyB='{"app":"Kripke","grid":{"procs":[2,4],"ns":[64,128],"seed":9001}}'
+bodyC='{"app":"Kripke","grid":{"procs":[2,4],"ns":[64,192],"seed":9001}}'
+curl -sSf -X POST -H 'Content-Type: application/json' \
+    -d "$bodyB" "$BASE_B/v1/campaigns" > "$TMP/shardB"
+curl -sSf -X POST -H 'Content-Type: application/json' \
+    -d "$bodyC" "$BASE_C/v1/campaigns" > "$TMP/shardC"
+
+# C shares the n=64 column (2 points) with B and must reuse, not measure, it.
+jq -e '.points_reused == 2 and .points_measured == 2' "$TMP/shardC" > /dev/null || {
+    echo "worker C did not shard through the remote store:" >&2
+    jq '{points_reused, points_measured}' "$TMP/shardC" >&2
+    exit 1
+}
+# Reconcile against the host's point counters: B published its 4 points
+# (plus the campaign entry), and C's shared column arrived as GETs.
+puts=$(metric server_points_put_total)
+gets=$(metric server_points_get_total)
+if [ "$((puts - puts0))" -lt 5 ] || [ "$gets" -lt 1 ]; then
+    echo "host point counters do not reconcile: puts $puts0 -> $puts, gets $gets" >&2
+    exit 1
+fi
+echo "-- worker C reused 2 shared points over HTTP (host puts=$puts gets=$gets)"
+
+# Workers drain cleanly too.
+for p in $WPIDS; do
+    kill -TERM "$p"
+    code=0
+    wait "$p" || code=$?
+    if [ "$code" -ne 0 ]; then
+        echo "worker reqserve exited $code after SIGTERM, want 0" >&2
+        cat "$TMP/logB" "$TMP/logC" >&2
+        exit 1
+    fi
+done
+WPIDS=""
+
 # Graceful drain: SIGTERM must finish in-flight work and exit 0.
 kill -TERM "$PID"
 code=0
@@ -100,4 +164,4 @@ fi
 grep -q "drained" "$TMP/log"
 grep -q "shutdown complete" "$TMP/log"
 PID=""
-echo "reqserve smoke: all clean (coalesce_hits=$coalesced, exit 0 on SIGTERM)"
+echo "reqserve smoke: all clean (coalesce_hits=$coalesced, remote sharding reconciled, exit 0 on SIGTERM)"

@@ -1,0 +1,38 @@
+package extrareq
+
+// The adaptive-campaign headline pair: the Adaptive variant refines each
+// proxy's benchGrid with WithAdaptiveGrid while FullGrid measures every
+// configuration. Both report the deterministic points-measured/op and
+// points-saved/op metrics, from which cmd/benchjson derives the
+// AdaptiveVsFullGrid_point_reduction ratio recorded in BENCH_<pr>.json —
+// the "2-3x fewer points" claim as a committed number. Each iteration uses
+// a fresh in-memory scheduler, so neither variant reuses cached points.
+
+import (
+	"context"
+	"testing"
+)
+
+func benchmarkAdaptiveVsFullGrid(b *testing.B, adaptiveRun bool) {
+	b.ReportAllocs()
+	var measured, saved int
+	for i := 0; i < b.N; i++ {
+		for _, name := range PaperAppNames() {
+			opts := []Option{WithoutModels()}
+			if adaptiveRun {
+				opts = append(opts, WithAdaptiveGrid(AdaptiveOptions{}))
+			}
+			res, err := Run(context.Background(), Spec{App: name, Grid: benchGrid}, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			measured += res.PointsMeasured
+			saved += res.PointsSaved
+		}
+	}
+	b.ReportMetric(float64(measured)/float64(b.N), "points-measured/op")
+	b.ReportMetric(float64(saved)/float64(b.N), "points-saved/op")
+}
+
+func BenchmarkAdaptiveVsFullGridAdaptive(b *testing.B) { benchmarkAdaptiveVsFullGrid(b, true) }
+func BenchmarkAdaptiveVsFullGridFullGrid(b *testing.B) { benchmarkAdaptiveVsFullGrid(b, false) }

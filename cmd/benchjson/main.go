@@ -11,7 +11,10 @@
 //
 //   - <Stem>Optimized vs <Stem>Reference (e.g. the PMNF fitting fast path
 //     against the pre-optimization reference path),
-//   - <Stem>WarmCache vs <Stem>ColdCache (the campaign cache round trip).
+//   - <Stem>WarmCache vs <Stem>ColdCache (the campaign cache round trip),
+//   - <Stem>Adaptive vs <Stem>FullGrid (adaptive grid refinement against
+//     measuring the whole grid; when both sides report a points-measured/op
+//     metric the ratio of measured points is derived as well).
 //
 // Usage: go test -run=NONE -bench=... -benchmem ./... | benchjson -pr 6
 package main
@@ -37,6 +40,9 @@ type benchmark struct {
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	// Metrics carries the custom units a benchmark emits via
+	// b.ReportMetric (points-measured/op, fits/sec, ...), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // derived is a ratio computed from a pair of benchmarks.
@@ -66,8 +72,8 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 //	BenchmarkFitSingleOptimized-8   853   2928374 ns/op   240639 B/op   1809 allocs/op
 //
 // Measurements are (value, unit) pairs after the iteration count; custom
-// units a benchmark reports via b.ReportMetric (fits/sec, workers, ...) are
-// skipped so they cannot shift the standard ones.
+// units a benchmark reports via b.ReportMetric (fits/sec, workers, ...)
+// land in Metrics, keyed by unit, so they cannot shift the standard ones.
 func parseBenchLine(line string) (benchmark, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -93,6 +99,11 @@ func parseBenchLine(line string) (benchmark, bool) {
 			b.AllocsPerOp = int64(v)
 		case "MB/s":
 			b.MBPerS = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[fields[i+1]] = v
 		}
 	}
 	if b.NsPerOp == 0 && b.BytesPerOp == 0 && b.AllocsPerOp == 0 {
@@ -106,7 +117,13 @@ func parseBenchLine(line string) (benchmark, bool) {
 var ratioPairs = [][2]string{
 	{"Optimized", "Reference"},
 	{"WarmCache", "ColdCache"},
+	{"Adaptive", "FullGrid"},
 }
+
+// pointsMetric is the custom unit the adaptive-vs-full-grid benchmarks
+// report; when both sides of a pair carry it, a measured-point reduction
+// ratio is derived next to the time speedup.
+const pointsMetric = "points-measured/op"
 
 func main() {
 	pr := flag.Int("pr", 0, "PR number stamped into the output")
@@ -195,6 +212,15 @@ func deriveRatios(benches []benchmark) []derived {
 					Fast:    b.Name,
 					Slow:    slow.Name,
 					Details: fmt.Sprintf("%d -> %d allocs/op", slow.AllocsPerOp, b.AllocsPerOp),
+				})
+			}
+			if fp, sp := b.Metrics[pointsMetric], slow.Metrics[pointsMetric]; fp > 0 && sp > 0 {
+				out = append(out, derived{
+					Name:    strings.TrimPrefix(stem, "Benchmark") + "_point_reduction",
+					Value:   round2(sp / fp),
+					Fast:    b.Name,
+					Slow:    slow.Name,
+					Details: fmt.Sprintf("%g -> %g points measured", sp, fp),
 				})
 			}
 		}

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	tests := []struct {
@@ -15,10 +18,17 @@ func TestParseBenchLine(t *testing.T) {
 		},
 		{
 			// Custom b.ReportMetric units between ns/op and B/op must not
-			// shift the standard measurements.
+			// shift the standard measurements; they land in Metrics.
 			line: "BenchmarkFitPipelineSerial   \t       6\t  57837351 ns/op\t       432.2 fits/sec\t         1.000 workers\t 8421533 B/op\t   66528 allocs/op",
-			want: benchmark{Name: "BenchmarkFitPipelineSerial", Iterations: 6, NsPerOp: 57837351, BytesPerOp: 8421533, AllocsPerOp: 66528},
-			ok:   true,
+			want: benchmark{Name: "BenchmarkFitPipelineSerial", Iterations: 6, NsPerOp: 57837351, BytesPerOp: 8421533, AllocsPerOp: 66528,
+				Metrics: map[string]float64{"fits/sec": 432.2, "workers": 1}},
+			ok: true,
+		},
+		{
+			line: "BenchmarkAdaptiveVsFullGridAdaptive-8   \t       1\t 191234567 ns/op\t        57.00 points-measured/op\t        68.00 points-saved/op",
+			want: benchmark{Name: "BenchmarkAdaptiveVsFullGridAdaptive", Iterations: 1, NsPerOp: 191234567,
+				Metrics: map[string]float64{"points-measured/op": 57, "points-saved/op": 68}},
+			ok: true,
 		},
 		{line: "PASS", ok: false},
 		{line: "ok  \textrareq/internal/modeling\t11.855s", ok: false},
@@ -31,7 +41,7 @@ func TestParseBenchLine(t *testing.T) {
 			t.Errorf("parseBenchLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
 			continue
 		}
-		if ok && got != tc.want {
+		if ok && !reflect.DeepEqual(got, tc.want) {
 			t.Errorf("parseBenchLine(%q) = %+v, want %+v", tc.line, got, tc.want)
 		}
 	}
@@ -43,6 +53,10 @@ func TestDeriveRatios(t *testing.T) {
 		{Name: "BenchmarkFitSingleReference", NsPerOp: 15e6, AllocsPerOp: 134000},
 		{Name: "BenchmarkMeasureCampaignWarmCache", NsPerOp: 1.5e5},
 		{Name: "BenchmarkMeasureCampaignColdCache", NsPerOp: 2.1e6},
+		{Name: "BenchmarkAdaptiveVsFullGridAdaptive", NsPerOp: 2e8,
+			Metrics: map[string]float64{"points-measured/op": 57}},
+		{Name: "BenchmarkAdaptiveVsFullGridFullGrid", NsPerOp: 5e8,
+			Metrics: map[string]float64{"points-measured/op": 125}},
 		{Name: "BenchmarkUnpaired", NsPerOp: 1},
 	}
 	got := deriveRatios(benches)
@@ -58,6 +72,12 @@ func TestDeriveRatios(t *testing.T) {
 	}
 	if d, ok := byName["MeasureCampaign_speedup"]; !ok || d.Value != 14 {
 		t.Errorf("MeasureCampaign_speedup = %+v, want value 14", d)
+	}
+	if d, ok := byName["AdaptiveVsFullGrid_speedup"]; !ok || d.Value != 2.5 {
+		t.Errorf("AdaptiveVsFullGrid_speedup = %+v, want value 2.5", d)
+	}
+	if d, ok := byName["AdaptiveVsFullGrid_point_reduction"]; !ok || d.Value != 2.19 {
+		t.Errorf("AdaptiveVsFullGrid_point_reduction = %+v, want value 2.19", d)
 	}
 	if _, ok := byName["Unpaired_speedup"]; ok {
 		t.Error("unpaired benchmark must not produce a ratio")

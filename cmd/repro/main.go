@@ -160,6 +160,7 @@ func resolveApps(errw io.Writer, source string, shared *cli.Flags, opts []extrar
 			reports[i] = r.Report
 		}
 		shared.ReportCampaigns(errw, reports)
+		shared.ReportAdaptive(errw, "repro", results)
 		if err != nil {
 			return nil, nil, err
 		}

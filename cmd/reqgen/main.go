@@ -95,13 +95,14 @@ func main() {
 	// command line is the spec that runs.
 	campaigns := make([]*extrareq.Campaign, len(names))
 	reports := make([]*extrareq.CampaignReport, len(names))
+	results := make([]*extrareq.Result, len(names))
 	runOpts := append(append([]extrareq.Option(nil), opts...), extrareq.WithoutModels())
 	for i, name := range names {
 		fmt.Fprintf(os.Stderr, "reqgen: measuring %s over %d configurations...\n",
 			name, len(grids[i].Procs)*len(grids[i].Ns))
 		res, err := extrareq.Run(context.Background(), extrareq.Spec{App: name, Grid: grids[i]}, runOpts...)
 		if res != nil {
-			campaigns[i], reports[i] = res.Campaign, res.Report
+			campaigns[i], reports[i], results[i] = res.Campaign, res.Report, res
 			if res.CacheHit {
 				fmt.Fprintf(os.Stderr, "reqgen: %s served from campaign cache\n", name)
 			}
@@ -112,6 +113,7 @@ func main() {
 		}
 	}
 	shared.ReportCampaigns(os.Stderr, reports)
+	shared.ReportAdaptive(os.Stderr, "reqgen", results)
 	if err := shared.Finish(os.Stderr, "reqgen", reports); err != nil {
 		fatal(err)
 	}

@@ -77,6 +77,7 @@ func BenchmarkOverlapWarm(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	reused := 0
 	for i := 0; i < b.N; i++ {
 		grid := base
 		grid.Ns = []int{64, 1024 + i} // half shared with base, half novel
@@ -87,7 +88,9 @@ func BenchmarkOverlapWarm(b *testing.B) {
 		if out.PointsReused != len(grid.Procs) {
 			b.Fatalf("iteration reused %d points, want %d", out.PointsReused, len(grid.Procs))
 		}
+		reused += out.PointsReused
 	}
+	b.ReportMetric(float64(reused)/float64(b.N), "points-reused/op")
 }
 
 func BenchmarkOverlapCold(b *testing.B) {
@@ -112,4 +115,5 @@ func BenchmarkOverlapCold(b *testing.B) {
 			b.Fatal("cold iteration reused points")
 		}
 	}
+	b.ReportMetric(0, "points-reused/op")
 }

@@ -86,6 +86,14 @@ type entry struct {
 	Report   *workload.CampaignReport `json:"report"`
 }
 
+// EncodeEntry marshals a campaign + report into the cache entry
+// representation under key — the exact bytes Decode and ValidateEntry
+// accept. Callers that assemble campaigns outside the Scheduler's own Run
+// path (the adaptive engine) use it to publish results through PutEntry.
+func EncodeEntry(key Key, app string, c *workload.Campaign, rep *workload.CampaignReport) ([]byte, error) {
+	return encode(key, app, c, rep)
+}
+
 // encode marshals a finished campaign into its cache representation.
 func encode(key Key, app string, c *workload.Campaign, rep *workload.CampaignReport) ([]byte, error) {
 	return json.Marshal(&entry{

@@ -28,6 +28,11 @@ type Flags struct {
 	CacheRemote string
 	CacheStats  bool
 
+	Adaptive        bool
+	AdaptiveBatch   int
+	AdaptiveMax     int
+	AdaptiveImprove float64
+
 	plan   *extrareq.FaultPlan
 	reg    *extrareq.MetricsRegistry
 	tracer *extrareq.Tracer
@@ -57,6 +62,17 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 			"and with -cache-dir the two tiers layer (local reads first, background remote writes)")
 	fs.BoolVar(&f.CacheStats, "cache-stats", false,
 		"print campaign cache hit/miss/byte counters to stderr at exit")
+	fs.BoolVar(&f.Adaptive, "adaptive", false,
+		"adaptive campaigns: treat the grid as a candidate space and measure only the "+
+			"configurations the models are least sure about, stopping when the fitted "+
+			"requirement models stabilize (typically 2-3x fewer points than the full grid)")
+	fs.IntVar(&f.AdaptiveBatch, "adaptive-batch", 0,
+		"configurations measured per adaptive refinement round (0 = 1/8 of the grid)")
+	fs.IntVar(&f.AdaptiveMax, "adaptive-max", 0,
+		"hard budget of configurations an adaptive campaign may measure (0 = half the grid)")
+	fs.Float64Var(&f.AdaptiveImprove, "adaptive-improve", 0,
+		"relative cross-validation improvement below which an adaptive campaign is "+
+			"considered converged (0 = the 0.02 default)")
 }
 
 // Setup validates the shared flags, starts the pprof server when asked,
@@ -102,7 +118,38 @@ func (f *Flags) Setup(errw io.Writer, prog string) ([]extrareq.Option, error) {
 	if f.CacheRemote != "" {
 		opts = append(opts, extrareq.WithRemoteCache(f.CacheRemote))
 	}
+	if f.Adaptive {
+		opts = append(opts, extrareq.WithAdaptiveGrid(extrareq.AdaptiveOptions{
+			BatchSize:   f.AdaptiveBatch,
+			MaxPoints:   f.AdaptiveMax,
+			Improvement: f.AdaptiveImprove,
+		}))
+	} else if f.AdaptiveBatch != 0 || f.AdaptiveMax != 0 || f.AdaptiveImprove != 0 {
+		return nil, fmt.Errorf("-adaptive-batch/-adaptive-max/-adaptive-improve need -adaptive")
+	}
 	return opts, nil
+}
+
+// ReportAdaptive prints one line of adaptive-campaign accounting per result
+// (points measured versus the full grid, and whether the models converged
+// or the point budget stopped the run). Silent for fixed-grid results.
+func (f *Flags) ReportAdaptive(errw io.Writer, prog string, results []*extrareq.Result) {
+	for _, r := range results {
+		if r == nil || r.Adaptive == nil {
+			continue
+		}
+		app := ""
+		if r.Campaign != nil && r.Campaign.App != "" {
+			app = " " + r.Campaign.App
+		}
+		stop := "converged"
+		if !r.Adaptive.Converged {
+			stop = "stopped on point budget"
+		}
+		fmt.Fprintf(errw, "%s:%s adaptive campaign %s after %d rounds: %d of %d grid points measured (%d reused, %d saved)\n",
+			prog, app, stop, r.Adaptive.Rounds,
+			r.PointsMeasured, r.Adaptive.FullGridPoints, r.PointsReused, r.PointsSaved)
+	}
 }
 
 // Plan returns the parsed fault plan (nil without -faults). Valid after

@@ -277,6 +277,64 @@ func (s *searcher) cvScoreFast(h hypothesis) (float64, int, error) {
 	return stats.SMAPE(s.preds, s.obs), failed, nil
 }
 
+// looFolds fills folds[i].Err with the held-out SMAPE contribution of
+// leave-one-out fold i for hypothesis h, charging failed folds the
+// worst-case 200. It is cvScoreFast recording per-fold errors instead of
+// aggregating them; callers guarantee n-1 >= 1+len(h.factors).
+func (s *searcher) looFolds(h hypothesis, folds []CVFold) {
+	n := len(s.pts)
+	k := 1 + len(h.factors)
+	s.prepareTerms(h)
+	s.pfCols = s.pfCols[:0]
+	s.pfStart = s.pfStart[:0]
+	for _, term := range h.factors {
+		s.pfStart = append(s.pfStart, len(s.pfCols))
+		for l, f := range term {
+			if f.IsOne() {
+				continue
+			}
+			s.pfCols = append(s.pfCols, s.basis.column(l, f))
+		}
+	}
+	s.pfStart = append(s.pfStart, len(s.pfCols))
+	s.full.Reshape(n, k)
+	s.rhs = growFloats(s.rhs, n)
+	for i := 0; i < n; i++ {
+		row := s.full.Data[i*k : (i+1)*k]
+		row[0] = 1
+		for t := range h.factors {
+			row[1+t] = s.termCols[t][i]
+		}
+		s.rhs[i] = s.pts[i].y
+	}
+	s.fold.Reshape(n-1, k)
+	s.foldRHS = growFloats(s.foldRHS, n-1)
+	foldRHS := s.foldRHS
+	for i := 0; i < n; i++ {
+		copy(s.fold.Data[:i*k], s.full.Data[:i*k])
+		copy(s.fold.Data[i*k:], s.full.Data[(i+1)*k:])
+		copy(foldRHS[:i], s.rhs[:i])
+		copy(foldRHS[i:], s.rhs[i+1:])
+		coef, err := s.solver.SolveDestructive(&s.fold, foldRHS)
+		if err == nil {
+			err = checkCoef(coef, s.opts.AllowNegative)
+		}
+		if err != nil {
+			folds[i].Err = 200
+			continue
+		}
+		pred := coef[0]
+		for t := range h.factors {
+			v := coef[1+t]
+			for _, col := range s.pfCols[s.pfStart[t]:s.pfStart[t+1]] {
+				v *= col[i]
+			}
+			pred += v
+		}
+		folds[i].Err = pointSMAPE(pred, s.pts[i].y)
+	}
+}
+
 // fitFast fits the hypothesis on the full series using the cached term
 // columns and the pooled QR workspace; it is fitHypothesis minus the
 // basis-function evaluations and allocations.

@@ -106,6 +106,23 @@ type ModelInfo struct {
 	// RelErrors holds the per-measurement relative errors (fractions) of
 	// the final model on its input data; this feeds the paper's Figure 3.
 	RelErrors []float64
+	// CVFolds holds the per-point leave-one-out diagnostics of the winning
+	// model: for each aggregated measurement point, the SMAPE contribution
+	// (percent, 0–200) of predicting it from a model fitted on the other
+	// points. Points the model struggles to predict from its neighbours are
+	// exactly where more measurements would improve confidence; adaptive
+	// experiment design (internal/adaptive) scores candidate configurations
+	// by interpolating these errors.
+	CVFolds []CVFold
+}
+
+// CVFold is the leave-one-out diagnostic for one aggregated measurement
+// point. Err is the SMAPE contribution (percent) of the held-out
+// prediction; folds whose refit failed (rank deficiency or a sign-constraint
+// violation) are charged the worst-case 200, mirroring cvScore's penalty.
+type CVFold struct {
+	Coords []float64 `json:"coords"`
+	Err    float64   `json:"err"`
 }
 
 // hypothesis is a model shape whose coefficients are to be fitted: a list of
@@ -214,8 +231,9 @@ func constantCV(pts []point) float64 {
 	return score
 }
 
-// finishInfo computes in-sample quality statistics for a final model.
-func finishInfo(m *pmnf.Model, pts []point, cv float64) *ModelInfo {
+// finishInfo computes in-sample quality statistics for a final model,
+// including the per-point leave-one-out diagnostics (CVFolds).
+func finishInfo(m *pmnf.Model, pts []point, cv float64, opts *Options) *ModelInfo {
 	pred := make([]float64, len(pts))
 	obs := make([]float64, len(pts))
 	for i, pt := range pts {
@@ -228,7 +246,69 @@ func finishInfo(m *pmnf.Model, pts []point, cv float64) *ModelInfo {
 		SMAPE:     stats.SMAPE(pred, obs),
 		RSquared:  stats.RSquared(pred, obs),
 		RelErrors: stats.RelativeErrors(pred, obs),
+		CVFolds:   looFolds(m, pts, opts),
 	}
+}
+
+// looFolds computes the per-point leave-one-out diagnostics for a final
+// model: one fold per aggregated point, refitting the winner's term shape on
+// the other points and scoring the held-out prediction. It always uses the
+// optimized scorer (the diagnostics are not part of the reference-equality
+// surface pinned by TestOptimizedFitMatchesReference) and is deterministic
+// for a given point series.
+func looFolds(m *pmnf.Model, pts []point, opts *Options) []CVFold {
+	folds := make([]CVFold, len(pts))
+	for i, pt := range pts {
+		folds[i].Coords = append([]float64(nil), pt.x...)
+	}
+	n := len(pts)
+	if n < 2 {
+		return folds // a lone point has no held-out fold
+	}
+	if len(m.Terms) == 0 {
+		// Constant model: the held-out prediction is the mean of the rest.
+		sum := 0.0
+		for _, pt := range pts {
+			sum += pt.y
+		}
+		for i, pt := range pts {
+			folds[i].Err = pointSMAPE((sum-pt.y)/float64(n-1), pt.y)
+		}
+		return folds
+	}
+	h := hypothesis{factors: make([][]pmnf.Factor, 0, len(m.Terms))}
+	for _, t := range m.Terms {
+		h.factors = append(h.factors, t.Factors)
+	}
+	if n-1 < 1+len(h.factors) {
+		// Every fold would be underdetermined; charge them all the
+		// worst-case SMAPE, mirroring cvScore's failed-fold penalty.
+		for i := range folds {
+			folds[i].Err = 200
+		}
+		return folds
+	}
+	s := newSearcher(m.Params, pts, opts)
+	defer s.release()
+	s.looFolds(h, folds)
+	return folds
+}
+
+// pointSMAPE is one term of stats.SMAPE: the symmetric percentage error of a
+// single (prediction, observation) pair, in [0, 200].
+func pointSMAPE(pred, obs float64) float64 {
+	ap, ao := math.Abs(pred), math.Abs(obs)
+	scale := math.Max(ap, ao)
+	if scale == 0 {
+		return 0
+	}
+	num := math.Abs(pred - obs)
+	den := ap + ao
+	if scale > math.MaxFloat64/4 {
+		num = math.Abs(pred/scale - obs/scale)
+		den = ap/scale + ao/scale
+	}
+	return math.Min(200*num/den, 200)
 }
 
 // relativeSpread returns (max-min)/max|y| of the raw values, 0 for empty

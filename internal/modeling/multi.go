@@ -87,7 +87,7 @@ func FitMultiAggregated(params []string, ms []Measurement, agg func(Measurement)
 	hyps := combinationHypotheses(len(params), perParam)
 	if len(hyps) == 0 {
 		m := pmnf.NewConstant(meanY(pts), params...)
-		return finishInfo(m, pts, constantCV(pts)), nil
+		return finishInfo(m, pts, constantCV(pts), opts), nil
 	}
 
 	// Step 3: evaluate every hypothesis and Occam-select the winner. One
@@ -109,7 +109,7 @@ func FitMultiAggregated(params []string, ms []Measurement, agg func(Measurement)
 	best, _, ok := s.selectAndFit(cands, opts.Improvement)
 	if !ok {
 		m := pmnf.NewConstant(meanY(pts), params...)
-		return finishInfo(m, pts, constantCV(pts)), nil
+		return finishInfo(m, pts, constantCV(pts), opts), nil
 	}
 	// A constant model still wins if no hypothesis significantly beats it,
 	// or if the constant already explains the grid to within the noise
@@ -117,9 +117,9 @@ func FitMultiAggregated(params []string, ms []Measurement, agg func(Measurement)
 	if cc := constantCV(pts); cc < opts.NoiseFloor ||
 		(!acceptScore(best.score, cc, opts.Improvement) && relativeSpread(pts) < 0.05) {
 		m := pmnf.NewConstant(meanY(pts), params...)
-		return finishInfo(m, pts, cc), nil
+		return finishInfo(m, pts, cc, opts), nil
 	}
-	return finishInfo(best.model, pts, best.score), nil
+	return finishInfo(best.model, pts, best.score, opts), nil
 }
 
 // baselineLine extracts the 1-D slice of points along parameter l where all

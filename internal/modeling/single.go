@@ -73,7 +73,7 @@ func fitIterativeHarvest(params []string, pts []point, candidates [][]pmnf.Facto
 	// Extra-P's noise guard and avoids fitting growth to jitter.
 	if relativeSpread(pts) < 1e-9 {
 		m := pmnf.NewConstant(meanY(pts), params...)
-		return finishInfo(m, pts, 0), nil, nil
+		return finishInfo(m, pts, 0, opts), nil, nil
 	}
 
 	bestScore := constantCV(pts)
@@ -82,7 +82,7 @@ func fitIterativeHarvest(params []string, pts []point, candidates [][]pmnf.Facto
 	// Noise guard: when the constant model already explains the data to
 	// within the noise floor, searching for growth would only fit jitter.
 	if bestScore < opts.NoiseFloor {
-		return finishInfo(bestModel, pts, bestScore), nil, nil
+		return finishInfo(bestModel, pts, bestScore, opts), nil, nil
 	}
 
 	s := newSearcher(params, pts, opts)
@@ -151,7 +151,7 @@ func fitIterativeHarvest(params []string, pts []point, candidates [][]pmnf.Facto
 			bestModel, bestScore = m, score
 		}
 	}
-	return finishInfo(bestModel, pts, bestScore), roundOne, nil
+	return finishInfo(bestModel, pts, bestScore, opts), roundOne, nil
 }
 
 // acceptScore reports whether a new CV score is a significant improvement

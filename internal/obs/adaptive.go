@@ -1,0 +1,103 @@
+package obs
+
+// Adaptive-campaign instruments. The adaptive engine (internal/adaptive)
+// replaces fixed measurement grids with model-driven refinement; operators
+// need to see how hard it is working (rounds, batches), how much it is
+// saving (points measured vs. skipped), and why runs stop (convergence vs.
+// budget exhaustion). Same shape as the other bundles: resolve once,
+// nil-safe throughout.
+
+// Metric names of the adaptive-campaign instruments.
+const (
+	// MetricAdaptiveRounds counts fit-score-measure refinement rounds
+	// (the seed fit counts as round one).
+	MetricAdaptiveRounds = "adaptive_rounds"
+	// MetricAdaptivePointsMeasured counts configurations executed by
+	// adaptive runs (cache misses among the selected points).
+	MetricAdaptivePointsMeasured = "adaptive_points_measured"
+	// MetricAdaptivePointsReused counts selected configurations served
+	// from the point cache instead of being executed.
+	MetricAdaptivePointsReused = "adaptive_points_reused"
+	// MetricAdaptivePointsSaved counts full-grid configurations adaptive
+	// runs never selected at all — the measurement budget the refinement
+	// loop saved over the fixed grid.
+	MetricAdaptivePointsSaved = "adaptive_points_saved"
+	// MetricAdaptiveConverged counts runs that stopped because the winning
+	// model strings were stable and cross-validation stopped improving.
+	MetricAdaptiveConverged = "adaptive_converged"
+	// MetricAdaptiveBudgetStop counts runs that stopped on the hard point
+	// budget (or candidate exhaustion) before the models converged.
+	MetricAdaptiveBudgetStop = "adaptive_budget_stop"
+	// MetricAdaptiveCacheHit counts adaptive runs answered entirely from
+	// their own campaign-level cache entry (seed spec + adaptive options).
+	MetricAdaptiveCacheHit = "adaptive_cache_hit"
+)
+
+// Adaptive bundles the adaptive-campaign instruments. The zero value and
+// the nil pointer are valid no-op instances.
+type Adaptive struct {
+	rounds, measured, reused, saved *Counter
+	converged, budgetStop, hit      *Counter
+}
+
+// NewAdaptive resolves the adaptive instruments in reg; nil reg returns a
+// no-op bundle.
+func NewAdaptive(reg *Registry) *Adaptive {
+	if reg == nil {
+		return nil
+	}
+	return &Adaptive{
+		rounds:     reg.Counter(MetricAdaptiveRounds),
+		measured:   reg.Counter(MetricAdaptivePointsMeasured),
+		reused:     reg.Counter(MetricAdaptivePointsReused),
+		saved:      reg.Counter(MetricAdaptivePointsSaved),
+		converged:  reg.Counter(MetricAdaptiveConverged),
+		budgetStop: reg.Counter(MetricAdaptiveBudgetStop),
+		hit:        reg.Counter(MetricAdaptiveCacheHit),
+	}
+}
+
+// Round counts one refinement round (one fit over the measured set).
+func (m *Adaptive) Round() {
+	if m != nil {
+		m.rounds.Inc()
+	}
+}
+
+// Points adds one batch's assembly split: configurations measured by this
+// run versus reused from the point cache.
+func (m *Adaptive) Points(reused, measured int) {
+	if m != nil {
+		m.reused.Add(int64(reused))
+		m.measured.Add(int64(measured))
+	}
+}
+
+// Saved records how many full-grid configurations a finished run skipped.
+func (m *Adaptive) Saved(n int) {
+	if m != nil {
+		m.saved.Add(int64(n))
+	}
+}
+
+// Converged counts one run stopped by the stability rule.
+func (m *Adaptive) Converged() {
+	if m != nil {
+		m.converged.Inc()
+	}
+}
+
+// BudgetStop counts one run stopped by the point budget or candidate
+// exhaustion.
+func (m *Adaptive) BudgetStop() {
+	if m != nil {
+		m.budgetStop.Inc()
+	}
+}
+
+// CacheHit counts one adaptive run served from its campaign-level entry.
+func (m *Adaptive) CacheHit() {
+	if m != nil {
+		m.hit.Inc()
+	}
+}

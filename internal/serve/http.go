@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"extrareq/internal/adaptive"
 	"extrareq/internal/apps"
 	"extrareq/internal/campaign"
 	"extrareq/internal/modeling"
@@ -65,6 +66,22 @@ type SubmitRequest struct {
 	// Wait, when false, makes the submission fire-and-forget: the response
 	// is 202 with the key to poll. Default true.
 	Wait *bool `json:"wait,omitempty"`
+	// Adaptive, when present, switches the submission to model-driven grid
+	// refinement: the grid becomes the candidate space and only the most
+	// informative configurations are measured (internal/adaptive). An empty
+	// object selects the documented defaults.
+	Adaptive *AdaptiveSubmit `json:"adaptive,omitempty"`
+}
+
+// AdaptiveSubmit is the wire form of adaptive.Options. Zero fields select
+// the engine defaults, which are resolved from the full grid size before
+// the coalescing key is computed — so an explicit default and an omitted
+// field coalesce onto the same flight.
+type AdaptiveSubmit struct {
+	BatchSize    int     `json:"batch_size,omitempty"`
+	MaxPoints    int     `json:"max_points,omitempty"`
+	Improvement  float64 `json:"improvement,omitempty"`
+	StableRounds int     `json:"stable_rounds,omitempty"`
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -113,9 +130,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if tenant == "" {
 		tenant = "default"
 	}
+	var aopts *adaptive.Options
+	if sub.Adaptive != nil {
+		aopts = &adaptive.Options{
+			BatchSize:    sub.Adaptive.BatchSize,
+			MaxPoints:    sub.Adaptive.MaxPoints,
+			Improvement:  sub.Adaptive.Improvement,
+			StableRounds: sub.Adaptive.StableRounds,
+		}
+	}
 
 	if sub.Wait != nil && !*sub.Wait {
-		key, err := s.Start(tenant, req)
+		key, err := s.start(tenant, req, aopts)
 		if err != nil {
 			s.writeSubmitError(w, err)
 			return
@@ -138,7 +164,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	res, err := s.Do(ctx, tenant, req)
+	res, err := s.do(ctx, tenant, req, aopts)
 	if err != nil {
 		s.writeSubmitError(w, err)
 		return
@@ -284,7 +310,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // watchJob streams progress snapshots as server-sent events until the job
-// finishes or the client disconnects.
+// finishes or the client disconnects. Every emitted snapshot is a legal
+// successor of the previous one (ValidateProgress): a snapshot torn
+// between two counter updates is skipped — the next tick carries a
+// consistent one — so clients never watch progress move backwards.
 func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, key campaign.Key) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -295,6 +324,8 @@ func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, key campaign.K
 	w.Header().Set("Cache-Control", "no-cache")
 	ticker := time.NewTicker(100 * time.Millisecond)
 	defer ticker.Stop()
+	var prev JobStatus
+	emitted := false
 	for {
 		st, ok := s.Job(r.Context(), key)
 		if !ok {
@@ -302,10 +333,22 @@ func (s *Server) watchJob(w http.ResponseWriter, r *http.Request, key campaign.K
 			flusher.Flush()
 			return
 		}
+		final := st.State == "done" || st.Cached
+		if emitted && !final {
+			if err := ValidateProgress(prev, st); err != nil {
+				select {
+				case <-r.Context().Done():
+					return
+				case <-ticker.C:
+				}
+				continue
+			}
+		}
 		data, _ := json.Marshal(st)
 		fmt.Fprintf(w, "data: %s\n\n", data)
 		flusher.Flush()
-		if st.State == "done" || st.Cached {
+		prev, emitted = st, true
+		if final {
 			return
 		}
 		select {

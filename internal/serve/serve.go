@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"extrareq/internal/adaptive"
 	"extrareq/internal/campaign"
 	"extrareq/internal/obs"
 	"extrareq/internal/workload"
@@ -188,6 +189,12 @@ type JobStatus struct {
 	// being reused.
 	PointsReused   int `json:"points_reused"`
 	PointsMeasured int `json:"points_measured"`
+	// PointsSaved counts grid configurations an adaptive flight decided
+	// never to measure. The engine cannot know what it will skip before it
+	// stops, so the field is 0 while running and jumps to its final value
+	// when the flight commits — which keeps it monotone across snapshots
+	// (see ValidateProgress). Always 0 for fixed-grid flights.
+	PointsSaved int `json:"points_saved"`
 	// Waiters is the number of clients currently attached.
 	Waiters int `json:"waiters"`
 	// Attached counts every submission that ever joined this flight.
@@ -233,6 +240,7 @@ type flight struct {
 	totalCfg atomic.Int64
 	reused   atomic.Int64
 	measured atomic.Int64
+	saved    atomic.Int64
 }
 
 // New builds a Server around opts.Runner.
@@ -288,9 +296,23 @@ func (s *Server) State() State {
 // keeps running for the others, and is cancelled when the last waiter
 // leaves.
 func (s *Server) Do(ctx context.Context, tenant string, req campaign.Request) (*Result, error) {
+	return s.do(ctx, tenant, req, nil)
+}
+
+// DoAdaptive is Do with model-driven grid refinement (internal/adaptive):
+// the grid is treated as the candidate space and only the most informative
+// configurations are measured. Coalescing keys on the adaptive campaign
+// key (seed spec + resolved options), so identical adaptive submissions
+// share one refinement loop — and never collide with a fixed-grid
+// submission of the same spec, which measures different work.
+func (s *Server) DoAdaptive(ctx context.Context, tenant string, req campaign.Request, opts adaptive.Options) (*Result, error) {
+	return s.do(ctx, tenant, req, &opts)
+}
+
+func (s *Server) do(ctx context.Context, tenant string, req campaign.Request, aopts *adaptive.Options) (*Result, error) {
 	start := s.opts.now()
 	s.red.Request()
-	f, isNew, err := s.admit(tenant, req, false)
+	f, isNew, err := s.admit(tenant, req, aopts, false)
 	if err != nil {
 		s.red.Shed()
 		return nil, err
@@ -320,8 +342,19 @@ func (s *Server) Do(ctx context.Context, tenant string, req campaign.Request) (*
 // immediately and polls Job for progress. The execution is bounded by
 // AsyncTimeout instead of a waiter deadline.
 func (s *Server) Start(tenant string, req campaign.Request) (campaign.Key, error) {
+	return s.start(tenant, req, nil)
+}
+
+// StartAdaptive is Start with model-driven grid refinement; see DoAdaptive
+// for the coalescing-key semantics. Job snapshots of an adaptive flight
+// additionally report points_saved once the flight commits.
+func (s *Server) StartAdaptive(tenant string, req campaign.Request, opts adaptive.Options) (campaign.Key, error) {
+	return s.start(tenant, req, &opts)
+}
+
+func (s *Server) start(tenant string, req campaign.Request, aopts *adaptive.Options) (campaign.Key, error) {
 	s.red.Request()
-	f, isNew, err := s.admit(tenant, req, true)
+	f, isNew, err := s.admit(tenant, req, aopts, true)
 	if err != nil {
 		s.red.Shed()
 		return campaign.Key{}, err
@@ -336,8 +369,15 @@ func (s *Server) Start(tenant string, req campaign.Request) (campaign.Key, error
 // coalesce, tenant bucket, queue bound — in that order. Coalesced attaches
 // are free (they add no work); only new flights charge the tenant bucket
 // and occupy queue slots.
-func (s *Server) admit(tenant string, req campaign.Request, async bool) (*flight, bool, error) {
+func (s *Server) admit(tenant string, req campaign.Request, aopts *adaptive.Options, async bool) (*flight, bool, error) {
+	// Adaptive submissions coalesce on the adaptive key (seed spec +
+	// resolved options): two adaptive submissions with the same knobs share
+	// one refinement loop, while a fixed-grid submission of the same spec —
+	// different work, different result — runs separately.
 	key := campaign.ComputeKey(req)
+	if aopts != nil {
+		key = adaptive.ComputeKey(req, *aopts)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state != StateServing {
@@ -373,7 +413,7 @@ func (s *Server) admit(tenant string, req campaign.Request, async bool) (*flight
 	s.admitted++
 	s.red.SetQueueDepth(s.admitted)
 	s.inflight.Add(1)
-	go s.execute(fctx, f, req)
+	go s.execute(fctx, f, req, aopts)
 	return f, true, nil
 }
 
@@ -405,21 +445,49 @@ func (s *Server) detach(f *flight) {
 // execute runs one flight to completion on the scheduler and publishes its
 // result. It is the only writer of f.out/f.err/f.body, strictly before
 // close(f.done).
-func (s *Server) execute(ctx context.Context, f *flight, req campaign.Request) {
+func (s *Server) execute(ctx context.Context, f *flight, req campaign.Request, aopts *adaptive.Options) {
 	defer s.inflight.Done()
 	s.red.SetInflight(int(s.running.Add(1)))
 	if req.Metrics == nil {
 		req.Metrics = s.opts.Metrics
 	}
+	// Store total before done: a Job snapshot between the two stores must
+	// never observe done > total (ValidateProgress enforces consistency on
+	// the watch stream).
 	req.Progress = func(done, total int) {
-		f.doneCfg.Store(int64(done))
 		f.totalCfg.Store(int64(total))
+		f.doneCfg.Store(int64(done))
 	}
 	req.PointProgress = func(reused, measured int) {
 		f.reused.Store(int64(reused))
 		f.measured.Store(int64(measured))
 	}
-	out, err := s.opts.Runner.Run(ctx, req)
+	var out *campaign.Outcome
+	var err error
+	if aopts != nil {
+		o := *aopts
+		o.Progress = func(u adaptive.Update) {
+			// Saved is 0 until the engine commits, so this store flips the
+			// snapshot field exactly once, keeping it monotone.
+			if u.Saved > 0 {
+				f.saved.Store(int64(u.Saved))
+			}
+		}
+		var res *adaptive.Result
+		res, err = adaptive.Run(ctx, s.opts.Runner, req, o)
+		if res != nil {
+			out = &campaign.Outcome{
+				Campaign:       res.Campaign,
+				Report:         res.Report,
+				Key:            res.Key,
+				CacheHit:       res.CacheHit,
+				PointsReused:   res.PointsReused,
+				PointsMeasured: res.PointsMeasured,
+			}
+		}
+	} else {
+		out, err = s.opts.Runner.Run(ctx, req)
+	}
 	f.out, f.err = out, err
 	if err == nil {
 		if body, berr := encodeOutcome(out); berr == nil {
@@ -455,6 +523,7 @@ func (s *Server) Job(ctx context.Context, key campaign.Key) (JobStatus, bool) {
 			TotalConfigs:   int(f.totalCfg.Load()),
 			PointsReused:   int(f.reused.Load()),
 			PointsMeasured: int(f.measured.Load()),
+			PointsSaved:    int(f.saved.Load()),
 			Waiters:        f.waiters,
 			Attached:       f.attached.Load(),
 		}
@@ -467,6 +536,43 @@ func (s *Server) Job(ctx context.Context, key campaign.Key) (JobStatus, bool) {
 		return JobStatus{Key: key.String(), State: "done", Cached: true}, true
 	}
 	return JobStatus{}, false
+}
+
+// ValidateProgress checks that cur is a legal successor of prev in a
+// sequence of Job snapshots of one flight: the cumulative counters never
+// move backwards, and each snapshot is internally consistent (done and the
+// reuse/measure/save split never exceed the total once a total is known).
+// The SSE watch endpoint drops snapshots that fail this check instead of
+// streaming them — a torn read between two atomic counters must not reach
+// clients as regressing progress.
+func ValidateProgress(prev, cur JobStatus) error {
+	type mono struct {
+		name      string
+		prev, cur int64
+	}
+	checks := []mono{
+		{"done_configs", int64(prev.DoneConfigs), int64(cur.DoneConfigs)},
+		{"total_configs", int64(prev.TotalConfigs), int64(cur.TotalConfigs)},
+		{"points_reused", int64(prev.PointsReused), int64(cur.PointsReused)},
+		{"points_measured", int64(prev.PointsMeasured), int64(cur.PointsMeasured)},
+		{"points_saved", int64(prev.PointsSaved), int64(cur.PointsSaved)},
+		{"attached", prev.Attached, cur.Attached},
+	}
+	for _, c := range checks {
+		if c.cur < c.prev {
+			return fmt.Errorf("serve: %s regressed from %d to %d", c.name, c.prev, c.cur)
+		}
+	}
+	if cur.TotalConfigs > 0 {
+		if cur.DoneConfigs > cur.TotalConfigs {
+			return fmt.Errorf("serve: done_configs %d exceeds total_configs %d", cur.DoneConfigs, cur.TotalConfigs)
+		}
+		if cur.PointsReused+cur.PointsMeasured+cur.PointsSaved > cur.TotalConfigs {
+			return fmt.Errorf("serve: points split %d+%d+%d exceeds total_configs %d",
+				cur.PointsReused, cur.PointsMeasured, cur.PointsSaved, cur.TotalConfigs)
+		}
+	}
+	return nil
 }
 
 // Drain is the shutdown half of the state machine: stop admitting, let
@@ -571,13 +677,17 @@ func (b *bucket) take(now time.Time, rate, burst float64) time.Duration {
 // cache, including everything behind a whole-campaign cache hit) versus
 // execution (configurations this submission actually measured).
 type outcomeBody struct {
-	Key            string                   `json:"key"`
-	App            string                   `json:"app"`
-	CacheHit       bool                     `json:"cache_hit"`
-	PointsReused   int                      `json:"points_reused"`
-	PointsMeasured int                      `json:"points_measured"`
-	Campaign       *workload.Campaign       `json:"campaign"`
-	Report         *workload.CampaignReport `json:"report"`
+	Key            string `json:"key"`
+	App            string `json:"app"`
+	CacheHit       bool   `json:"cache_hit"`
+	PointsReused   int    `json:"points_reused"`
+	PointsMeasured int    `json:"points_measured"`
+	// PointsSaved counts grid configurations the flight never executed at
+	// all: 0 for fixed-grid campaigns (the report covers the whole grid),
+	// positive for adaptive campaigns that stopped early.
+	PointsSaved int                      `json:"points_saved"`
+	Campaign    *workload.Campaign       `json:"campaign"`
+	Report      *workload.CampaignReport `json:"report"`
 }
 
 // encodeOutcome builds the response bytes exactly once per flight; every
@@ -587,12 +697,20 @@ func encodeOutcome(out *campaign.Outcome) ([]byte, error) {
 	if out.Campaign != nil {
 		app = out.Campaign.App
 	}
+	saved := 0
+	if out.Campaign != nil && out.Report != nil {
+		full := len(out.Campaign.Grid.Procs) * len(out.Campaign.Grid.Ns)
+		if n := full - out.Report.Configs; n > 0 {
+			saved = n
+		}
+	}
 	return json.Marshal(&outcomeBody{
 		Key:            out.Key.String(),
 		App:            app,
 		CacheHit:       out.CacheHit,
 		PointsReused:   out.PointsReused,
 		PointsMeasured: out.PointsMeasured,
+		PointsSaved:    saved,
 		Campaign:       out.Campaign,
 		Report:         out.Report,
 	})

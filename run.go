@@ -3,7 +3,9 @@ package extrareq
 import (
 	"context"
 	"fmt"
+	"sync"
 
+	"extrareq/internal/adaptive"
 	"extrareq/internal/apps"
 	"extrareq/internal/campaign"
 	"extrareq/internal/workload"
@@ -38,7 +40,33 @@ type Result struct {
 	// cache (WithCache) — a stored campaign entry or a full assembly from
 	// stored points — instead of measuring anything.
 	CacheHit bool
+	// PointsReused / PointsMeasured split the campaign's configurations by
+	// assembly path: served from the point cache versus executed by this
+	// run. PointsSaved counts grid configurations an adaptive run
+	// (WithAdaptiveGrid) never measured at all; it is 0 for fixed grids.
+	PointsReused   int
+	PointsMeasured int
+	PointsSaved    int
+	// Adaptive carries the refinement summary of a WithAdaptiveGrid run;
+	// nil for fixed-grid campaigns.
+	Adaptive *AdaptiveSummary
 }
+
+// AdaptiveSummary describes how an adaptive campaign stopped.
+type AdaptiveSummary struct {
+	// Rounds counts fits over the measured set (0 for a cache hit).
+	Rounds int
+	// Converged reports the stability rule stopped the run (rather than
+	// the point budget).
+	Converged bool
+	// FullGridPoints is the size of the requested grid the run refined.
+	FullGridPoints int
+}
+
+// AdaptiveOptions tune WithAdaptiveGrid's refinement loop; the zero value
+// selects the documented defaults (batch ≈ grid/8, budget = half the grid,
+// 2% improvement threshold, one stable round).
+type AdaptiveOptions = adaptive.Options
 
 // Option configures Run and RunAll.
 type Option func(*runConfig)
@@ -54,6 +82,7 @@ type runConfig struct {
 	store     campaign.Store
 	modelOpts *ModelOptions
 	model     bool
+	adaptive  *AdaptiveOptions
 }
 
 // buildStore resolves the cache options into scheduler Options plus a
@@ -160,6 +189,21 @@ func WithStore(st Store) Option {
 	return func(c *runConfig) { c.store = st }
 }
 
+// WithAdaptiveGrid replaces fixed-grid measurement with model-driven grid
+// refinement (internal/adaptive): the run seeds the grid's baseline lines
+// (which satisfy the five-point rule exactly when the grid does), fits the
+// requirement models, and measures only the configurations whose
+// leave-one-out uncertainty — weighted toward the extrapolation corner —
+// most improves model confidence, stopping when the winning model strings
+// are stable and cross-validation stops improving, or at the point budget
+// (default: half the grid). The scheduler, point cache, fault injection,
+// and observability layers apply unchanged, and adaptive runs share point
+// entries with fixed-grid campaigns of the same spec. Results stay
+// byte-identical across repeats and worker counts for a fixed seed.
+func WithAdaptiveGrid(o AdaptiveOptions) Option {
+	return func(c *runConfig) { c.adaptive = &o }
+}
+
 // WithModelOptions configures the Extra-P-style model generator.
 func WithModelOptions(mo *ModelOptions) Option {
 	return func(c *runConfig) { c.modelOpts = mo }
@@ -197,7 +241,7 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (*Result, error) {
 		return nil, err
 	}
 	defer sched.Close()
-	out, err := sched.Run(ctx, campaign.Request{
+	res, err := runRequest(ctx, sched, &cfg, campaign.Request{
 		App:       app,
 		Grid:      grid,
 		Faults:    cfg.faults,
@@ -207,21 +251,55 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (*Result, error) {
 		Tracer:    cfg.tracer,
 	})
 	if err != nil {
-		res := &Result{}
-		if out != nil {
-			res.Report = out.Report
-		}
 		return res, err
 	}
-	res := &Result{Campaign: out.Campaign, Report: out.Report, CacheHit: out.CacheHit}
 	if !cfg.model {
 		return res, nil
 	}
-	fits, _, err := workload.FitAllObserved([]*Campaign{out.Campaign}, cfg.modelOpts, 0, NewFitCache(), cfg.reg)
+	fits, _, err := workload.FitAllObserved([]*Campaign{res.Campaign}, cfg.modelOpts, 0, NewFitCache(), cfg.reg)
 	if err != nil {
 		return res, err
 	}
 	res.Requirements = fits[0]
+	return res, nil
+}
+
+// runRequest executes one campaign request through sched — fixed-grid or,
+// with WithAdaptiveGrid, model-driven — and converts the outcome into a
+// Result (models are fitted by the caller). On error the Result still
+// carries whatever report was produced.
+func runRequest(ctx context.Context, sched *campaign.Scheduler, cfg *runConfig, req campaign.Request) (*Result, error) {
+	if cfg.adaptive != nil {
+		aout, err := adaptive.Run(ctx, sched, req, *cfg.adaptive)
+		if err != nil {
+			return &Result{}, err
+		}
+		return &Result{
+			Campaign:       aout.Campaign,
+			Report:         aout.Report,
+			CacheHit:       aout.CacheHit,
+			PointsReused:   aout.PointsReused,
+			PointsMeasured: aout.PointsMeasured,
+			PointsSaved:    aout.PointsSaved,
+			Adaptive: &AdaptiveSummary{
+				Rounds:         aout.Rounds,
+				Converged:      aout.Converged,
+				FullGridPoints: aout.FullGridPoints,
+			},
+		}, nil
+	}
+	out, err := sched.Run(ctx, req)
+	res := &Result{}
+	if out != nil {
+		res.Report = out.Report
+		res.PointsReused = out.PointsReused
+		res.PointsMeasured = out.PointsMeasured
+	}
+	if err != nil {
+		return res, err
+	}
+	res.Campaign = out.Campaign
+	res.CacheHit = out.CacheHit
 	return res, nil
 }
 
@@ -257,16 +335,22 @@ func RunAll(ctx context.Context, opts ...Option) ([]*Result, []ErrorClass, error
 			Tracer:    cfg.tracer,
 		}
 	}
-	outs, errs := sched.RunBatch(ctx, reqs)
+	// One goroutine per app over the shared scheduler (RunBatch semantics);
+	// adaptive runs are independent per app, so they refine concurrently
+	// while their sub-requests share the pool and point cache.
 	results := make([]*Result, len(all))
 	campaigns := make([]*Campaign, len(all))
-	for i, out := range outs {
-		results[i] = &Result{}
-		if out != nil {
-			results[i].Campaign = out.Campaign
-			results[i].Report = out.Report
-			results[i].CacheHit = out.CacheHit
-		}
+	errs := make([]error, len(all))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = runRequest(ctx, sched, &cfg, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
 		campaigns[i] = results[i].Campaign
 	}
 	for _, err := range errs {

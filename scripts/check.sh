@@ -32,6 +32,14 @@ go build ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
+# Adaptive soak: concurrent adaptive + fixed-grid campaigns sharing one
+# point store, under the race detector, pinning that shared points are
+# measured at most once and the adaptive result stays byte-identical. The
+# suite above already runs it; this explicit pass keeps the guarantee
+# visible (and failing loudly) even if the test file moves or is renamed.
+echo "== adaptive -race soak =="
+go test -race -count=1 -run 'TestAdaptiveSharedStoreSoak|TestAdaptiveDeterministic' ./internal/adaptive/
+
 # Bench smoke: one iteration of every Measure* benchmark, so a change that
 # breaks the hot-path or cache benches fails the gate without paying for a
 # full benchmark run.
@@ -45,7 +53,7 @@ go test -run=NONE -bench=BenchmarkMeasure -benchtime=1x ./...
 # performance across the repo's history is comparable without re-running old
 # revisions. BENCH_PR stamps the PR number; BENCH_TIME trades gate time for
 # measurement stability.
-BENCH_PR=${BENCH_PR:-9}
+BENCH_PR=${BENCH_PR:-10}
 BENCH_TIME=${BENCH_TIME:-0.3s}
 echo "== perf trajectory (BENCH_${BENCH_PR}.json, benchtime ${BENCH_TIME}) =="
 {
@@ -53,12 +61,26 @@ echo "== perf trajectory (BENCH_${BENCH_PR}.json, benchtime ${BENCH_TIME}) =="
         -benchmem -benchtime="${BENCH_TIME}" ./internal/modeling/
     go test -run=NONE -bench='BenchmarkFitPipeline' \
         -benchmem -benchtime="${BENCH_TIME}" .
+    # Campaign benches run at the full BENCH_TIME: the single-iteration runs
+    # recorded through BENCH_9 made the warm/cold overlap numbers pure
+    # startup noise (one op includes pool spin-up), so the derived ratios
+    # jumped between runs. The points-reused/op metric they now report is
+    # deterministic either way.
     go test -run=NONE -bench='BenchmarkMeasureCampaign|BenchmarkOverlap|BenchmarkRemote(Warm|Cold)' \
-        -benchmem -benchtime=1x ./internal/campaign/
+        -benchmem -benchtime="${BENCH_TIME}" ./internal/campaign/
     go test -run=NONE -bench='BenchmarkServeThroughput' \
         -benchmem -benchtime="${BENCH_TIME}" ./internal/serve/
+    # One iteration suffices here: points-measured/op is deterministic, and
+    # that metric (not ns/op) carries the AdaptiveVsFullGrid_point_reduction
+    # headline the PR gate asserts on below.
+    go test -run=NONE -bench='BenchmarkAdaptiveVsFullGrid' \
+        -benchmem -benchtime=1x .
 } | go run ./cmd/benchjson -pr "${BENCH_PR}" > "BENCH_${BENCH_PR}.json"
 echo "wrote BENCH_${BENCH_PR}.json"
+
+# The adaptive headline must hold: the committed record has to show the
+# adaptive runs measuring at most half the grid points of the full runs.
+go run ./scripts/assert_point_reduction.go "BENCH_${BENCH_PR}.json"
 
 # Service smoke: a real reqserve process must coalesce concurrent identical
 # HTTP submissions and drain cleanly to exit 0 on SIGTERM.
